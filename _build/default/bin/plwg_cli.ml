@@ -1,0 +1,111 @@
+(* Command-line driver for the partitionable light-weight group
+   reproduction: runs the paper's experiments and ad-hoc simulations.
+
+     dune exec bin/plwg_cli.exe -- <command> [options]
+*)
+
+open Cmdliner
+
+(* ---------------- figure2 ---------------- *)
+
+let figure2_cmd =
+  let ns_arg =
+    let doc = "Comma-separated group counts per set (the x axis)." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 12 ] & info [ "n"; "groups" ] ~docv:"N,..." ~doc)
+  in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let run ns seed = Plwg_harness.Figure2.print_all ~ns ~seed () in
+  Cmd.v
+    (Cmd.info "figure2" ~doc:"Reproduce Figure 2: latency/throughput/recovery across service modes.")
+    Term.(const run $ ns_arg $ seed_arg)
+
+(* ---------------- scenario ---------------- *)
+
+let scenario_cmd =
+  let seed_arg = Arg.(value & opt int 90 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let run seed =
+    let outcome = Plwg_harness.Scenario.run ~seed () in
+    Plwg_harness.Scenario.print outcome;
+    if not outcome.Plwg_harness.Scenario.converged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Reproduce Tables 3-4 / Figures 3-4: the partition criss-cross walkthrough.")
+    Term.(const run $ seed_arg)
+
+(* ---------------- ablations ---------------- *)
+
+let ablation_cmd =
+  let which_arg =
+    let doc = "Which ablation: policy, period, gossip, merge, or all." in
+    Arg.(value & pos 0 (enum [ ("policy", `Policy); ("period", `Period); ("gossip", `Gossip); ("merge", `Merge); ("all", `All) ]) `All & info [] ~docv:"WHICH" ~doc)
+  in
+  let run which =
+    let pick = function
+      | `Policy -> Plwg_harness.Ablation.policy_sweep ()
+      | `Period -> Plwg_harness.Ablation.heuristic_period ()
+      | `Gossip -> Plwg_harness.Ablation.anti_entropy ()
+      | `Merge -> Plwg_harness.Ablation.merge_cost ()
+      | `All ->
+          Plwg_harness.Ablation.policy_sweep ();
+          Plwg_harness.Ablation.heuristic_period ();
+          Plwg_harness.Ablation.anti_entropy ();
+          Plwg_harness.Ablation.merge_cost ()
+    in
+    pick which
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation experiments.") Term.(const run $ which_arg)
+
+(* ---------------- stress ---------------- *)
+
+let stress_cmd =
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed.") in
+  let runs_arg = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"RUNS" ~doc:"Number of random schedules.") in
+  let nodes_arg = Arg.(value & opt int 6 & info [ "nodes" ] ~docv:"NODES" ~doc:"Application nodes.") in
+  let run seed runs n_app =
+    let open Plwg_sim in
+    let failures = ref 0 in
+    for i = 0 to runs - 1 do
+      let seed = seed + (37 * i) in
+      let stack = Plwg_harness.Stack.create ~mode:Plwg_harness.Stack.Dynamic ~seed ~n_app () in
+      let group = Plwg.Service.fresh_gid stack.Plwg_harness.Stack.services.(0) in
+      Array.iter (fun s -> Plwg.Service.join s group) stack.Plwg_harness.Stack.services;
+      Plwg_harness.Stack.run stack (Time.sec 12);
+      let rng = Plwg_util.Rng.create ~seed:(seed * 13) in
+      for _round = 1 to 4 do
+        (match Plwg_util.Rng.int rng 3 with
+        | 0 ->
+            let cut = 1 + Plwg_util.Rng.int rng (n_app - 1) in
+            let servers = stack.Plwg_harness.Stack.server_nodes in
+            let left = List.init cut (fun i -> i) @ [ List.hd servers ] in
+            let right =
+              List.init (n_app - cut) (fun i -> cut + i) @ List.tl servers
+            in
+            Engine.set_partition stack.Plwg_harness.Stack.engine [ left; right ]
+        | 1 -> Engine.heal stack.Plwg_harness.Stack.engine
+        | _ -> ());
+        Plwg_harness.Stack.run stack (Time.sec 5)
+      done;
+      Engine.heal stack.Plwg_harness.Stack.engine;
+      Plwg_harness.Stack.run stack (Time.sec 25);
+      let ok =
+        Plwg_harness.Stack.lwg_converged stack group
+        && Plwg_vsync.Recorder.check_all stack.Plwg_harness.Stack.recorder = []
+      in
+      Printf.printf "seed %-6d %s\n%!" seed (if ok then "ok" else "FAILED");
+      if not ok then incr failures
+    done;
+    if !failures > 0 then begin
+      Printf.printf "%d of %d schedules failed\n" !failures runs;
+      exit 1
+    end
+    else Printf.printf "all %d schedules converged with invariants intact\n" runs
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Random partition/heal schedules; checks convergence and invariants.")
+    Term.(const run $ seed_arg $ runs_arg $ nodes_arg)
+
+let main_cmd =
+  let doc = "Partitionable Light-Weight Groups (Rodrigues & Guo, ICDCS 2000) - reproduction driver" in
+  Cmd.group (Cmd.info "plwg" ~version:"1.0.0" ~doc) [ figure2_cmd; scenario_cmd; ablation_cmd; stress_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/collaboration.ml: Array Engine Format Gid List Node_id Payload Plwg Plwg_harness Plwg_sim Plwg_vsync Time View

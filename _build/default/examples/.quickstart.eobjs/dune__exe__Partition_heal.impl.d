@@ -1,0 +1,1 @@
+examples/partition_heal.ml: Array Engine Format Gid List Node_id Payload Plwg Plwg_harness Plwg_naming Plwg_sim Plwg_vsync Time View View_id

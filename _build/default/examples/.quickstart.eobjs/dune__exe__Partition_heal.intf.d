@@ -1,0 +1,1 @@
+examples/partition_heal.mli:

@@ -1,0 +1,1 @@
+lib/detector/detector.ml: Engine Hashtbl List Node_id Payload Plwg_sim Plwg_transport Printf Time Topology

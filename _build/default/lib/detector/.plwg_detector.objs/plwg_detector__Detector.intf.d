@@ -1,0 +1,1 @@
+lib/detector/detector.mli: Plwg_sim Plwg_transport

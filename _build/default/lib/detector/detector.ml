@@ -1,0 +1,95 @@
+open Plwg_sim
+
+type Payload.t += Heartbeat of { from : Node_id.t }
+
+let () =
+  Payload.register_printer (function
+    | Heartbeat { from } -> Some (Printf.sprintf "heartbeat(%s)" (Node_id.to_string from))
+    | _ -> None)
+
+type status = Reachable | Unreachable
+
+type config = { period : Time.span; timeout : Time.span }
+
+let default_config = { period = Time.ms 100; timeout = Time.ms 350 }
+
+type t = {
+  node : Node_id.t;
+  engine : Engine.t;
+  transport : Plwg_transport.Transport.t;
+  config : config;
+  last_heard : (Node_id.t, Time.t) Hashtbl.t;
+  mutable reachable : Node_id.Set.t;
+  mutable subscribers : (Node_id.t -> status -> unit) list;
+}
+
+let notify t peer status = List.iter (fun subscriber -> subscriber peer status) t.subscribers
+
+let mark_reachable t peer =
+  if peer <> t.node && not (Node_id.Set.mem peer t.reachable) then begin
+    t.reachable <- Node_id.Set.add peer t.reachable;
+    notify t peer Reachable
+  end
+
+let mark_unreachable t peer =
+  if Node_id.Set.mem peer t.reachable && peer <> t.node then begin
+    t.reachable <- Node_id.Set.remove peer t.reachable;
+    notify t peer Unreachable
+  end
+
+let sweep t =
+  let now = Engine.now t.engine in
+  let stale =
+    Node_id.Set.filter
+      (fun peer ->
+        peer <> t.node
+        &&
+        match Hashtbl.find_opt t.last_heard peer with
+        | Some heard -> Time.diff now heard > t.config.timeout
+        | None -> true)
+      t.reachable
+  in
+  Node_id.Set.iter (mark_unreachable t) stale
+
+let rec tick t =
+  if Topology.is_alive (Engine.topology t.engine) t.node then begin
+    Plwg_transport.Transport.broadcast_raw t.transport ~src:t.node (Heartbeat { from = t.node });
+    sweep t
+  end;
+  let (_ : Engine.cancel) = Engine.after t.engine t.config.period (fun () -> tick t) in
+  ()
+
+let create ?(config = default_config) transport node =
+  let engine = Plwg_transport.Transport.engine transport in
+  let t =
+    {
+      node;
+      engine;
+      transport;
+      config;
+      last_heard = Hashtbl.create 16;
+      reachable = Node_id.Set.empty;
+      subscribers = [];
+    }
+  in
+  let endpoint = Plwg_transport.Transport.endpoint transport node in
+  Plwg_transport.Transport.on_receive endpoint (fun ~src payload ->
+      match payload with
+      | Heartbeat { from } ->
+          if from = src then begin
+            Hashtbl.replace t.last_heard src (Engine.now engine);
+            mark_reachable t src
+          end
+      | _ -> ());
+  (* stagger first beats so all nodes do not fire on the same instant *)
+  let stagger = Time.us (node * 137) in
+  let (_ : Engine.cancel) = Engine.after engine stagger (fun () -> tick t) in
+  t
+
+let node t = t.node
+
+let status t peer = if peer = t.node || Node_id.Set.mem peer t.reachable then Reachable else Unreachable
+
+let reachable_set t = Node_id.Set.add t.node t.reachable
+
+let on_change t subscriber = t.subscribers <- t.subscribers @ [ subscriber ]

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Engine Float Gid List Metrics Plwg Plwg_naming Plwg_sim Plwg_vsync Printf Stack Time

@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Array Engine List Model Option Plwg_detector Plwg_sim Plwg_transport Plwg_vsync String Time Topology

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Engine Model Node_id Plwg_detector Plwg_sim Plwg_transport Plwg_vsync Time

@@ -1,0 +1,1 @@
+lib/harness/figure2.ml: Array Engine Float Gid Hashtbl List Metrics Model Node_id Payload Plwg Plwg_detector Plwg_sim Plwg_vsync Stack Time View

@@ -1,0 +1,1 @@
+lib/harness/figure2.mli: Stack

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Engine Format Gid List Option Plwg Plwg_naming Plwg_sim Plwg_vsync Printf Stack String Time View

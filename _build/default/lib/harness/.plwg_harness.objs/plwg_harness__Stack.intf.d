@@ -1,0 +1,1 @@
+lib/harness/stack.mli: Engine Model Node_id Plwg Plwg_detector Plwg_naming Plwg_sim Plwg_transport Plwg_vsync Time

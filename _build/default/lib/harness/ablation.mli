@@ -1,0 +1,18 @@
+(** Ablation experiments for the design choices DESIGN.md calls out. *)
+
+val policy_sweep : ?seed:int -> unit -> unit
+(** Sensitivity of the Figure 1 rules to [k_m]/[k_c]: switches executed
+    and final number of carrier HWGs for a mixed-membership workload. *)
+
+val heuristic_period : ?seed:int -> unit -> unit
+(** Policy evaluation period vs time-to-stable-mapping and switch count
+    (the paper ran the heuristics once a minute to avoid cascades). *)
+
+val anti_entropy : ?seed:int -> unit -> unit
+(** Naming-service gossip period vs time from heal to conflict
+    detection and to full LWG convergence. *)
+
+val merge_cost : ?seed:int -> unit -> unit
+(** Cost of the merge-views protocol (Figure 5): HWG flushes consumed
+    to merge m concurrently partitioned LWGs — one shared flush, versus
+    the m flushes a per-LWG merge would need. *)

@@ -1,0 +1,68 @@
+open Plwg_sim
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+module Hwg = Plwg_vsync.Hwg
+module Recorder = Plwg_vsync.Recorder
+
+type t = {
+  engine : Engine.t;
+  transport : Transport.t;
+  detectors : Detector.t array;
+  hwgs : Hwg.t array;
+  recorder : Recorder.t;
+}
+
+let create ?(model = Model.default) ?(hwg_config = Hwg.default_config)
+    ?(detector_config = Detector.default_config) ?(callbacks = fun _ -> Hwg.no_callbacks) ~seed ~n_nodes () =
+  let engine = Engine.create ~model ~seed ~n_nodes () in
+  let transport = Transport.create engine in
+  let recorder = Recorder.create () in
+  let detectors = Array.init n_nodes (fun node -> Detector.create ~config:detector_config transport node) in
+  let hwgs =
+    Array.init n_nodes (fun node ->
+        Hwg.create ~config:hwg_config ~recorder:(Recorder.hook recorder) ~transport ~detector:detectors.(node)
+          (callbacks node) node)
+  in
+  { engine; transport; detectors; hwgs; recorder }
+
+let run t span = Engine.run_span t.engine span
+
+let settle _ = Time.sec 4
+
+let converged t group =
+  let topology = Engine.topology t.engine in
+  let nodes = Topology.all_nodes topology in
+  let classes =
+    (* distinct connectivity classes among alive nodes *)
+    List.filter_map
+      (fun node ->
+        if Topology.is_alive topology node then
+          let component = Topology.component_of topology node in
+          if List.hd component = node then Some component else None
+        else None)
+      nodes
+  in
+  List.for_all
+    (fun component ->
+      let with_view =
+        List.filter_map
+          (fun node ->
+            if Hwg.is_member t.hwgs.(node) group then
+              Option.map (fun v -> (node, v)) (Hwg.view_of t.hwgs.(node) group)
+            else None)
+          component
+      in
+      match with_view with
+      | [] -> true
+      | (_, first) :: _ ->
+          let expected_members = List.map fst with_view in
+          List.for_all
+            (fun (_, view) -> Plwg_vsync.Types.View_id.equal view.Plwg_vsync.Types.View.id first.Plwg_vsync.Types.View.id)
+            with_view
+          && first.Plwg_vsync.Types.View.members = expected_members)
+    classes
+
+let assert_invariants t =
+  match Recorder.check_all t.recorder with
+  | [] -> ()
+  | violations -> failwith (String.concat "\n" violations)

@@ -1,0 +1,38 @@
+(** Assembles a simulated cluster: engine, transport fabric, one failure
+    detector and one HWG service per node, plus a shared trace recorder.
+    Used by tests, examples and the benchmark harness. *)
+
+open Plwg_sim
+
+type t = {
+  engine : Engine.t;
+  transport : Plwg_transport.Transport.t;
+  detectors : Plwg_detector.Detector.t array;
+  hwgs : Plwg_vsync.Hwg.t array;
+  recorder : Plwg_vsync.Recorder.t;
+}
+
+val create :
+  ?model:Model.t ->
+  ?hwg_config:Plwg_vsync.Hwg.config ->
+  ?detector_config:Plwg_detector.Detector.config ->
+  ?callbacks:(Node_id.t -> Plwg_vsync.Hwg.callbacks) ->
+  seed:int ->
+  n_nodes:int ->
+  unit ->
+  t
+
+val run : t -> Time.span -> unit
+(** Advance simulated time by the given span. *)
+
+val settle : t -> Time.span
+(** A span long enough for detectors and the membership protocol to
+    converge after a disruption (a few detection timeouts). *)
+
+val converged : t -> Plwg_vsync.Types.Gid.t -> bool
+(** True when every alive member of the group reports the same view,
+    every view member is a member, and no two concurrent views persist
+    among alive nodes in the same connectivity class. *)
+
+val assert_invariants : t -> unit
+(** Raise [Failure] listing violations if any trace invariant fails. *)

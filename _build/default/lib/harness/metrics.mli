@@ -1,0 +1,15 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile 0.95 samples]; 0 on the empty list. *)
+
+val stddev : float list -> float
+
+type series = { label : string; points : (int * float) list }
+
+val print_table : header:string -> x_label:string -> series list -> unit
+(** Render aligned comma-separated rows, one per x value, one column per
+    series — the textual equivalent of one panel of a paper figure. *)

@@ -1,0 +1,107 @@
+open Plwg_sim
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+module Recorder = Plwg_vsync.Recorder
+module Service = Plwg.Service
+module Server = Plwg_naming.Server
+module Client = Plwg_naming.Client
+
+type service_mode = Direct | Static | Dynamic
+
+type t = {
+  engine : Engine.t;
+  transport : Transport.t;
+  detectors : Detector.t array;
+  services : Service.t array;
+  ns_servers : Server.t list;
+  ns_clients : Client.t array;
+  recorder : Recorder.t;
+  hwg_recorder : Recorder.t;
+  app_nodes : Node_id.t list;
+  server_nodes : Node_id.t list;
+}
+
+let static_hwg = { Plwg_vsync.Types.Gid.seq = 500_000; origin = 0 }
+
+let create ?(model = Model.default) ?(seed = 42) ?(config = Service.default_config)
+    ?(hwg_config = Plwg_vsync.Hwg.default_config) ?(detector_config = Detector.default_config)
+    ?(ns_config = Server.default_config) ?(n_servers = 2) ?(callbacks = fun _ -> Service.no_callbacks) ~mode
+    ~n_app () =
+  let with_servers = match mode with Dynamic -> n_servers | Direct | Static -> 0 in
+  let n_nodes = n_app + with_servers in
+  let engine = Engine.create ~model ~seed ~n_nodes () in
+  let transport = Transport.create engine in
+  let recorder = Recorder.create () in
+  let hwg_recorder = Recorder.create () in
+  let detectors = Array.init n_nodes (fun node -> Detector.create ~config:detector_config transport node) in
+  let app_nodes = List.init n_app (fun i -> i) in
+  let server_nodes = List.init with_servers (fun i -> n_app + i) in
+  let ns_servers =
+    List.map
+      (fun node ->
+        Server.create ~config:ns_config ~transport ~detector:detectors.(node)
+          ~peers:(List.filter (fun p -> p <> node) server_nodes)
+          node)
+      server_nodes
+  in
+  let ns_clients =
+    match mode with
+    | Dynamic ->
+        Array.init n_app (fun node ->
+            Client.create ~transport ~detector:detectors.(node) ~servers:server_nodes node)
+    | Direct | Static -> [||]
+  in
+  let service_mode =
+    match mode with Direct -> Service.Direct | Static -> Service.Static static_hwg | Dynamic -> Service.Dynamic
+  in
+  let services =
+    Array.init n_app (fun node ->
+        let ns = match mode with Dynamic -> Some ns_clients.(node) | Direct | Static -> None in
+        Service.create ~config ~hwg_config ~recorder:(Recorder.hook recorder)
+          ~hwg_recorder:(Recorder.hook hwg_recorder) ~mode:service_mode ~transport ~detector:detectors.(node) ?ns
+          (callbacks node) node)
+  in
+  { engine; transport; detectors; services; ns_servers; ns_clients; recorder; hwg_recorder; app_nodes; server_nodes }
+
+let run t span = Engine.run_span t.engine span
+
+let lwg_converged t lwg =
+  let topology = Engine.topology t.engine in
+  let classes =
+    List.filter_map
+      (fun node ->
+        if Topology.is_alive topology node then
+          let component = Topology.component_of topology node in
+          let app_component = List.filter (fun n -> List.mem n t.app_nodes) component in
+          match app_component with
+          | first :: _ when first = node -> Some app_component
+          | _ -> None
+        else None)
+      t.app_nodes
+  in
+  List.for_all
+    (fun component ->
+      let with_view =
+        List.filter_map
+          (fun node ->
+            match Service.view_of t.services.(node) lwg with Some v -> Some (node, v) | None -> None)
+          component
+      in
+      match with_view with
+      | [] -> true
+      | (first_node, first) :: _ ->
+          let expected_members = List.map fst with_view in
+          List.for_all
+            (fun (_, v) -> Plwg_vsync.Types.View_id.equal v.Plwg_vsync.Types.View.id first.Plwg_vsync.Types.View.id)
+            with_view
+          && first.Plwg_vsync.Types.View.members = expected_members
+          && List.for_all
+               (fun (node, _) ->
+                 Service.mapping_of t.services.(node) lwg = Service.mapping_of t.services.(first_node) lwg)
+               with_view)
+    classes
+
+let assert_lwg_invariants t =
+  match Recorder.check_all t.recorder with
+  | [] -> ()
+  | violations -> failwith (String.concat "\n" violations)

@@ -1,0 +1,49 @@
+(** Full-stack cluster: application nodes running the light-weight group
+    service (plus detector + transport), and dedicated naming-service
+    replica nodes.  The standard fixture for LWG tests, examples and the
+    paper's experiments. *)
+
+open Plwg_sim
+
+type service_mode = Direct | Static | Dynamic
+
+type t = {
+  engine : Engine.t;
+  transport : Plwg_transport.Transport.t;
+  detectors : Plwg_detector.Detector.t array;  (** indexed by node id *)
+  services : Plwg.Service.t array;  (** indexed by app node id, [0 .. n_app-1] *)
+  ns_servers : Plwg_naming.Server.t list;
+  ns_clients : Plwg_naming.Client.t array;  (** per app node (Dynamic mode) *)
+  recorder : Plwg_vsync.Recorder.t;  (** LWG-level events *)
+  hwg_recorder : Plwg_vsync.Recorder.t;  (** carrier (HWG) level events *)
+  app_nodes : Node_id.t list;
+  server_nodes : Node_id.t list;
+}
+
+val static_hwg : Plwg_vsync.Types.Gid.t
+(** The designated global HWG used by [Static] mode. *)
+
+val create :
+  ?model:Model.t ->
+  ?seed:int ->
+  ?config:Plwg.Service.config ->
+  ?hwg_config:Plwg_vsync.Hwg.config ->
+  ?detector_config:Plwg_detector.Detector.config ->
+  ?ns_config:Plwg_naming.Server.config ->
+  ?n_servers:int ->
+  ?callbacks:(Node_id.t -> Plwg.Service.callbacks) ->
+  mode:service_mode ->
+  n_app:int ->
+  unit ->
+  t
+(** Node layout: app nodes are [0 .. n_app-1]; naming replicas (Dynamic
+    mode only, [n_servers] of them, default 2) occupy the next ids. *)
+
+val run : t -> Time.span -> unit
+
+val lwg_converged : t -> Plwg_vsync.Types.Gid.t -> bool
+(** Every alive app node that is a member of the LWG shares one view per
+    connectivity class, the view lists exactly those members, and all of
+    them map the LWG onto the same HWG. *)
+
+val assert_lwg_invariants : t -> unit

@@ -1,0 +1,1 @@
+lib/lwg/messages.ml: Format Gid List Node_id Payload Plwg_sim Plwg_vsync View View_id

@@ -1,0 +1,1 @@
+lib/lwg/policy.ml: Gid List Node_id Plwg_sim Plwg_vsync

@@ -1,0 +1,1 @@
+lib/lwg/policy.mli: Gid Node_id Plwg_sim Plwg_vsync

@@ -1,0 +1,1 @@
+lib/lwg/service.ml: Engine Format Gid Hashtbl Int List Logs Messages Node_id Option Payload Plwg_detector Plwg_naming Plwg_sim Plwg_transport Plwg_vsync Policy String Time Topology View View_id

@@ -1,0 +1,1 @@
+lib/lwg/service.mli: Gid Node_id Payload Plwg_detector Plwg_naming Plwg_sim Plwg_transport Plwg_vsync Policy Time View

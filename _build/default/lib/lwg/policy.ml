@@ -1,0 +1,45 @@
+open Plwg_sim
+open Plwg_vsync.Types
+
+type params = { k_m : int; k_c : int }
+
+let default_params = { k_m = 4; k_c = 4 }
+
+let is_minority params ~inner ~outer =
+  Node_id.Set.subset inner outer
+  && float_of_int (Node_id.Set.cardinal inner) <= float_of_int (Node_id.Set.cardinal outer) /. float_of_int params.k_m
+
+let close_enough params ~inner ~outer =
+  Node_id.Set.subset inner outer
+  &&
+  let ni = Node_id.Set.cardinal inner and no = Node_id.Set.cardinal outer in
+  float_of_int (no - ni) <= float_of_int no /. float_of_int params.k_c
+
+let share_decision params (gid1, members1) (gid2, members2) =
+  let k = Node_id.Set.cardinal (Node_id.Set.inter members1 members2) in
+  let n1 = Node_id.Set.cardinal members1 - k and n2 = Node_id.Set.cardinal members2 - k in
+  let nested_minority =
+    (Node_id.Set.subset members1 members2 && is_minority params ~inner:members1 ~outer:members2)
+    || (Node_id.Set.subset members2 members1 && is_minority params ~inner:members2 ~outer:members1)
+  in
+  if (not nested_minority) && float_of_int k > sqrt (2.0 *. float_of_int n1 *. float_of_int n2) then
+    `Collapse_into (if Gid.compare gid1 gid2 > 0 then gid1 else gid2)
+  else `Keep
+
+let interference_decision params ~lwg_members ~hwg:(_, hwg_members) ~candidates =
+  if not (is_minority params ~inner:lwg_members ~outer:hwg_members) then `Stay
+  else
+    let fits =
+      List.filter (fun (_, members) -> close_enough params ~inner:lwg_members ~outer:members) candidates
+    in
+    match fits with
+    | [] -> `Create_new
+    | _ ->
+        let best, _ =
+          List.fold_left (fun (bg, bm) (g, m) -> if Gid.compare g bg > 0 then (g, m) else (bg, bm))
+            (List.hd fits) (List.tl fits)
+        in
+        `Switch_to best
+
+let shrink_decision ~member_of_hwg ~lwgs_mapped_here =
+  if member_of_hwg && lwgs_mapped_here = 0 then `Leave else `Stay

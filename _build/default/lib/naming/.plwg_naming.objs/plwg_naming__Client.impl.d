@@ -1,0 +1,1 @@
+lib/naming/client.ml: Db Engine Gid Hashtbl List Node_id Payload Plwg_detector Plwg_sim Plwg_transport Plwg_vsync Protocol Time

@@ -1,0 +1,1 @@
+lib/naming/client.mli: Db Gid Node_id Plwg_detector Plwg_sim Plwg_transport Plwg_vsync Time

@@ -1,0 +1,1 @@
+lib/naming/db.ml: Format Gid List Option Plwg_sim Plwg_vsync View_id

@@ -1,0 +1,1 @@
+lib/naming/db.mli: Format Gid Plwg_sim Plwg_vsync View_id

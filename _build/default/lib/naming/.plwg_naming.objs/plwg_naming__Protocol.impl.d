@@ -1,0 +1,1 @@
+lib/naming/protocol.ml: Db Format Gid List Node_id Payload Plwg_sim Plwg_vsync

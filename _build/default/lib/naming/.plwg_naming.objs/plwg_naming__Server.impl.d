@@ -1,0 +1,1 @@
+lib/naming/server.ml: Db Engine List Node_id Plwg_detector Plwg_sim Plwg_transport Protocol Time Topology

@@ -1,0 +1,1 @@
+lib/naming/server.mli: Db Node_id Plwg_detector Plwg_sim Plwg_transport Time

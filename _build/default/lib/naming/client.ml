@@ -1,0 +1,101 @@
+open Plwg_sim
+open Plwg_vsync.Types
+open Protocol
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+
+type config = { request_timeout : Time.span; max_attempts : int }
+
+let default_config = { request_timeout = Time.ms 800; max_attempts = 6 }
+
+type reply = Entries of (Db.entry list -> unit) | Ack of (unit -> unit)
+
+type pending = {
+  make : int -> Payload.t; (* request payload for a given req id *)
+  reply : reply;
+  mutable attempt : int;
+  mutable timer : Engine.cancel;
+}
+
+type t = {
+  node : Node_id.t;
+  engine : Engine.t;
+  endpoint : Transport.endpoint;
+  detector : Detector.t;
+  config : config;
+  servers : Node_id.t list;
+  mutable next_req : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable mm_handlers : (Gid.t -> Db.entry list -> unit) list;
+}
+
+let pick_server t ~attempt =
+  let reachable = Detector.reachable_set t.detector in
+  let preferred = List.filter (fun s -> Node_id.Set.mem s reachable) t.servers in
+  let pool = if preferred = [] then t.servers else preferred in
+  match pool with
+  | [] -> None
+  | _ -> Some (List.nth pool (attempt mod List.length pool))
+
+let rec transmit t req p =
+  match pick_server t ~attempt:p.attempt with
+  | None -> Hashtbl.remove t.pending req (* no servers configured *)
+  | Some server ->
+      Transport.send t.endpoint ~dst:server (p.make req);
+      p.timer <-
+        Engine.after_node t.engine t.node t.config.request_timeout (fun () ->
+            if Hashtbl.mem t.pending req then begin
+              p.attempt <- p.attempt + 1;
+              if p.attempt >= t.config.max_attempts then Hashtbl.remove t.pending req
+              else transmit t req p
+            end)
+
+let request t make reply =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  let p = { make; reply; attempt = 0; timer = (fun () -> ()) } in
+  Hashtbl.replace t.pending req p;
+  transmit t req p
+
+let set t entry ~k = request t (fun req -> Ns_set { req; from = t.node; entry }) (Ack k)
+
+let read t lwg ~k = request t (fun req -> Ns_read { req; from = t.node; lwg }) (Entries k)
+
+let test_and_set t entry ~k = request t (fun req -> Ns_testset { req; from = t.node; entry }) (Entries k)
+
+let on_multiple_mappings t handler = t.mm_handlers <- t.mm_handlers @ [ handler ]
+
+let settle t req k =
+  match Hashtbl.find_opt t.pending req with
+  | Some p ->
+      p.timer ();
+      Hashtbl.remove t.pending req;
+      k p
+  | None -> ()
+
+let handle t payload =
+  match payload with
+  | Ns_reply { req; entries } ->
+      settle t req (fun p -> match p.reply with Entries k -> k entries | Ack k -> k ())
+  | Ns_ack { req } -> settle t req (fun p -> match p.reply with Ack k -> k () | Entries k -> k [])
+  | Ns_multiple_mappings { lwg; entries } -> List.iter (fun handler -> handler lwg entries) t.mm_handlers
+  | _ -> ()
+
+let create ?(config = default_config) ~transport ~detector ~servers node =
+  let engine = Transport.engine transport in
+  let endpoint = Transport.endpoint transport node in
+  let t =
+    {
+      node;
+      engine;
+      endpoint;
+      detector;
+      config;
+      servers;
+      next_req = 0;
+      pending = Hashtbl.create 16;
+      mm_handlers = [];
+    }
+  in
+  Transport.on_receive endpoint (fun ~src:_ payload -> handle t payload);
+  t

@@ -1,0 +1,38 @@
+(** Client stub for the naming service (paper Table 2).
+
+    The three primitives are asynchronous: each takes a continuation
+    invoked with the reply.  The client targets the first reachable
+    replica (per its failure detector) and retries on timeout against
+    the next one, so requests survive replica crashes and partitions as
+    long as one replica is reachable — mirroring the paper's placement
+    assumption of "at least one server available in each partition". *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+
+type t
+
+type config = { request_timeout : Time.span; max_attempts : int }
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  transport:Plwg_transport.Transport.t ->
+  detector:Plwg_detector.Detector.t ->
+  servers:Node_id.t list ->
+  Node_id.t ->
+  t
+
+val set : t -> Db.entry -> k:(unit -> unit) -> unit
+(** [ns.set]: store a view-level mapping (retiring its predecessors). *)
+
+val read : t -> Gid.t -> k:(Db.entry list -> unit) -> unit
+(** [ns.read]: live entries for a LWG (empty if unknown). *)
+
+val test_and_set : t -> Db.entry -> k:(Db.entry list -> unit) -> unit
+(** [ns.testset]: return the current mapping, or install [entry] if
+    there is none. *)
+
+val on_multiple_mappings : t -> (Gid.t -> Db.entry list -> unit) -> unit
+(** Subscribe to the server-initiated inconsistency callbacks. *)

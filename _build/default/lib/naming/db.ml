@@ -1,0 +1,118 @@
+open Plwg_vsync.Types
+
+type entry = {
+  lwg : Gid.t;
+  lwg_view : View_id.t;
+  members : Plwg_sim.Node_id.t list;
+  hwg : Gid.t;
+  hwg_view : View_id.t option;
+  preds : View_id.t list;
+}
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a:%a%a -> %a%s" Gid.pp e.lwg View_id.pp e.lwg_view Plwg_sim.Node_id.pp_list e.members
+    Gid.pp e.hwg
+    (match e.hwg_view with Some v -> Format.asprintf ":%a" View_id.pp v | None -> "")
+
+type t = {
+  mutable entries : entry list Gid.Map.t; (* lwg -> live entries *)
+  mutable superseded : View_id.Set.t Gid.Map.t;
+}
+
+let create () = { entries = Gid.Map.empty; superseded = Gid.Map.empty }
+
+let superseded_of t lwg =
+  match Gid.Map.find_opt lwg t.superseded with Some s -> s | None -> View_id.Set.empty
+
+let live_of t lwg =
+  let dead = superseded_of t lwg in
+  let all = match Gid.Map.find_opt lwg t.entries with Some es -> es | None -> [] in
+  List.filter (fun e -> not (View_id.Set.mem e.lwg_view dead)) all
+
+let retire t lwg views =
+  if views <> [] then begin
+    let dead = List.fold_left (fun acc v -> View_id.Set.add v acc) (superseded_of t lwg) views in
+    t.superseded <- Gid.Map.add lwg dead t.superseded;
+    (* drop retired entries eagerly; the superseded set remembers them *)
+    let keep entries = List.filter (fun e -> not (View_id.Set.mem e.lwg_view dead)) entries in
+    t.entries <- Gid.Map.update lwg (Option.map keep) t.entries
+  end
+
+(* Two replicas can transiently hold different mappings for the same
+   LWG view (a switch recorded at only one of them).  Merge must be
+   commutative, so ties are broken by a deterministic total order; in
+   normal operation a switch installs a fresh LWG view id, so this
+   tie-break only resolves pathological duplicates. *)
+let entry_order a b =
+  let c = Gid.compare a.hwg b.hwg in
+  if c <> 0 then c
+  else
+    let c = Option.compare View_id.compare a.hwg_view b.hwg_view in
+    if c <> 0 then c else compare a.members b.members
+
+let insert ~resolve t entry =
+  if not (View_id.Set.mem entry.lwg_view (superseded_of t entry.lwg)) then begin
+    let current = match Gid.Map.find_opt entry.lwg t.entries with Some es -> es | None -> [] in
+    let entry =
+      if resolve then
+        match List.find_opt (fun e -> View_id.equal e.lwg_view entry.lwg_view) current with
+        | Some existing when entry_order existing entry > 0 -> existing
+        | Some _ | None -> entry
+      else entry
+    in
+    let others = List.filter (fun e -> not (View_id.equal e.lwg_view entry.lwg_view)) current in
+    t.entries <- Gid.Map.add entry.lwg (entry :: others) t.entries
+  end
+
+let set t entry =
+  retire t entry.lwg entry.preds;
+  insert ~resolve:false t entry
+
+let read t lwg = List.sort (fun a b -> View_id.compare a.lwg_view b.lwg_view) (live_of t lwg)
+
+let test_and_set t entry =
+  match read t entry.lwg with
+  | [] ->
+      set t entry;
+      read t entry.lwg
+  | existing -> existing
+
+let merge t other =
+  let before_entries = t.entries and before_superseded = t.superseded in
+  (* union of superseded knowledge first, so dead entries never revive *)
+  t.superseded <-
+    Gid.Map.union (fun _ a b -> Some (View_id.Set.union a b)) t.superseded other.superseded;
+  Gid.Map.iter (fun _ entries -> List.iter (fun e -> insert ~resolve:true t e) entries) other.entries;
+  (* re-apply GC with the merged superseded sets *)
+  Gid.Map.iter (fun lwg dead -> retire t lwg (View_id.Set.elements dead)) t.superseded;
+  not (Gid.Map.equal (fun a b -> a = b) before_entries t.entries)
+  || not (Gid.Map.equal View_id.Set.equal before_superseded t.superseded)
+
+let conflicting t lwg =
+  match read t lwg with
+  | [] | [ _ ] -> false
+  | first :: rest -> List.exists (fun e -> not (Gid.equal e.hwg first.hwg)) rest
+
+let lwgs t =
+  Gid.Map.fold (fun lwg _ acc -> if live_of t lwg <> [] then lwg :: acc else acc) t.entries []
+  |> List.sort Gid.compare
+
+let conflicts t = List.filter (conflicting t) (lwgs t)
+
+let is_superseded t ~lwg view_id = View_id.Set.mem view_id (superseded_of t lwg)
+
+let snapshot t = { entries = t.entries; superseded = t.superseded }
+
+let size t = Gid.Map.fold (fun lwg _ acc -> acc + List.length (live_of t lwg)) t.entries 0
+
+let pp ppf t =
+  List.iter
+    (fun lwg ->
+      Format.fprintf ppf "@[<h>LWG %a:@ %a@]@." Gid.pp lwg
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf e ->
+             Format.fprintf ppf "%a -> %a%s" View_id.pp e.lwg_view Gid.pp e.hwg
+               (match e.hwg_view with Some v -> Format.asprintf ":%a" View_id.pp v | None -> "")))
+        (read t lwg))
+    (lwgs t)

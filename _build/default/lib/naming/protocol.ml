@@ -1,0 +1,25 @@
+(** Wire messages of the naming service. *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+
+type Payload.t +=
+  | Ns_set of { req : int; from : Node_id.t; entry : Db.entry }
+  | Ns_read of { req : int; from : Node_id.t; lwg : Gid.t }
+  | Ns_testset of { req : int; from : Node_id.t; entry : Db.entry }
+  | Ns_reply of { req : int; entries : Db.entry list }
+  | Ns_ack of { req : int }
+  | Ns_gossip of { from : Node_id.t; db : Db.t }
+  | Ns_multiple_mappings of { lwg : Gid.t; entries : Db.entry list }
+
+let () =
+  Payload.register_printer (function
+    | Ns_set { req; entry; _ } -> Some (Format.asprintf "ns-set(#%d,%a)" req Db.pp_entry entry)
+    | Ns_read { req; lwg; _ } -> Some (Format.asprintf "ns-read(#%d,%a)" req Gid.pp lwg)
+    | Ns_testset { req; entry; _ } -> Some (Format.asprintf "ns-testset(#%d,%a)" req Db.pp_entry entry)
+    | Ns_reply { req; entries } -> Some (Format.asprintf "ns-reply(#%d,%d entries)" req (List.length entries))
+    | Ns_ack { req } -> Some (Format.asprintf "ns-ack(#%d)" req)
+    | Ns_gossip { from; db } -> Some (Format.asprintf "ns-gossip(%a,%d)" Node_id.pp from (Db.size db))
+    | Ns_multiple_mappings { lwg; entries } ->
+        Some (Format.asprintf "ns-multiple-mappings(%a,%d)" Gid.pp lwg (List.length entries))
+    | _ -> None)

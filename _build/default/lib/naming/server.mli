@@ -1,0 +1,32 @@
+(** A naming-service replica.
+
+    Replicas answer client requests from their local database (so a
+    reachable replica keeps the service available inside any partition),
+    exchange anti-entropy gossip with reachable peer replicas, and — the
+    partitionable extension of Section 5.2 — push [MULTIPLE-MAPPINGS]
+    callbacks to the members of every LWG whose live entries name more
+    than one HWG.  Reconciliation of replica databases is {!Db.merge};
+    strong consistency is deliberately not attempted. *)
+
+open Plwg_sim
+
+type t
+
+type config = { gossip_period : Time.span }
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  transport:Plwg_transport.Transport.t ->
+  detector:Plwg_detector.Detector.t ->
+  peers:Node_id.t list ->
+  Node_id.t ->
+  t
+(** [peers] lists the other replica nodes. *)
+
+val node : t -> Node_id.t
+
+val db : t -> Db.t
+(** Direct read access, used by tests and by the Table 3/4 scenario
+    printer. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Int List Model Node_id Payload Plwg_util Time Topology

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Model Node_id Payload Plwg_util Time Topology

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Engine Format List Node_id Time

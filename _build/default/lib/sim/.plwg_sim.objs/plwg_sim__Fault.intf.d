@@ -1,0 +1,1 @@
+lib/sim/fault.mli: Engine Format Node_id Time

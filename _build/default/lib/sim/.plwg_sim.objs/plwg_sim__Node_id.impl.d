@@ -1,0 +1,1 @@
+lib/sim/node_id.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/sim/node_id.mli: Format Map Set

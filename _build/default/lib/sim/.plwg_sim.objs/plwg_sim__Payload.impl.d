@@ -1,0 +1,1 @@
+lib/sim/payload.ml: Format

@@ -1,0 +1,1 @@
+lib/sim/payload.mli: Format

@@ -1,0 +1,142 @@
+type event = { time : Time.t; seq : int; action : unit -> unit }
+
+type cancel = unit -> unit
+
+type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
+
+type t = {
+  topology : Topology.t;
+  model : Model.t;
+  rng : Plwg_util.Rng.t;
+  queue : event Plwg_util.Heap.t;
+  mutable now : Time.t;
+  mutable next_seq : int;
+  handlers : (src:Node_id.t -> Payload.t -> unit) list array;
+  busy_until : Time.t array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable wire_dropped : int;
+  mutable unreachable_dropped : int;
+}
+
+let compare_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(model = Model.default) ~seed ~n_nodes () =
+  {
+    topology = Topology.create ~n_nodes;
+    model;
+    rng = Plwg_util.Rng.create ~seed;
+    queue = Plwg_util.Heap.create ~cmp:compare_event;
+    now = Time.zero;
+    next_seq = 0;
+    handlers = Array.make n_nodes [];
+    busy_until = Array.make n_nodes Time.zero;
+    sent = 0;
+    delivered = 0;
+    wire_dropped = 0;
+    unreachable_dropped = 0;
+  }
+
+let topology t = t.topology
+let model t = t.model
+let now t = t.now
+let rng t = t.rng
+
+let schedule t time action =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Plwg_util.Heap.push t.queue { time; seq; action }
+
+let subscribe t node handler = t.handlers.(node) <- t.handlers.(node) @ [ handler ]
+
+let dispatch t ~src ~dst payload =
+  if Topology.is_alive t.topology dst then begin
+    t.delivered <- t.delivered + 1;
+    List.iter (fun handler -> handler ~src payload) t.handlers.(dst)
+  end
+
+(* A message that reached [dst]'s network interface queues through its
+   CPU: service is FIFO and each message costs [proc_time]. *)
+let enqueue_cpu t ~src ~dst payload =
+  let start = max t.now t.busy_until.(dst) in
+  let finish = Time.add start t.model.Model.proc_time in
+  t.busy_until.(dst) <- finish;
+  schedule t finish (fun () -> dispatch t ~src ~dst payload)
+
+let send t ~src ~dst payload =
+  if Topology.is_alive t.topology src then
+    if src = dst then begin
+      t.sent <- t.sent + 1;
+      enqueue_cpu t ~src ~dst payload
+    end
+    else if not (Topology.reachable t.topology src dst) then
+      t.unreachable_dropped <- t.unreachable_dropped + 1
+    else if t.model.Model.drop_prob > 0.0 && Plwg_util.Rng.bernoulli t.rng t.model.Model.drop_prob then begin
+      t.sent <- t.sent + 1;
+      t.wire_dropped <- t.wire_dropped + 1
+    end
+    else begin
+      t.sent <- t.sent + 1;
+      let jitter =
+        if t.model.Model.link_jitter = 0 then 0 else Plwg_util.Rng.int t.rng (t.model.Model.link_jitter + 1)
+      in
+      let arrival = Time.add t.now (t.model.Model.link_base + jitter) in
+      let deliver () =
+        (* A partition installed while the message was in flight cuts it. *)
+        if Topology.reachable t.topology src dst then enqueue_cpu t ~src ~dst payload
+        else t.unreachable_dropped <- t.unreachable_dropped + 1
+      in
+      schedule t arrival deliver
+    end
+
+let multicast t ~src ~dsts payload = List.iter (fun dst -> send t ~src ~dst payload) dsts
+
+let make_timer t time guard action =
+  let cancelled = ref false in
+  schedule t time (fun () -> if (not !cancelled) && guard () then action ());
+  fun () -> cancelled := true
+
+let after t span action = make_timer t (Time.add t.now span) (fun () -> true) action
+
+let after_node t node span action =
+  make_timer t (Time.add t.now span) (fun () -> Topology.is_alive t.topology node) action
+
+let crash t node =
+  Topology.crash t.topology node;
+  t.busy_until.(node) <- t.now
+
+let recover t node = Topology.recover t.topology node
+let set_partition t classes = Topology.set_partition t.topology classes
+let heal t = Topology.heal t.topology
+
+let run t ~until =
+  let rec loop () =
+    match Plwg_util.Heap.peek t.queue with
+    | Some event when Time.compare event.time until <= 0 ->
+        ignore (Plwg_util.Heap.pop t.queue);
+        t.now <- event.time;
+        event.action ();
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- max t.now until
+
+let run_span t span = run t ~until:(Time.add t.now span)
+
+let run_until_idle ?(limit = Time.sec 3600) t =
+  let rec loop () =
+    match Plwg_util.Heap.peek t.queue with
+    | Some event when Time.compare event.time limit <= 0 ->
+        ignore (Plwg_util.Heap.pop t.queue);
+        t.now <- event.time;
+        event.action ();
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let stats t =
+  { sent = t.sent; delivered = t.delivered; wire_dropped = t.wire_dropped; unreachable_dropped = t.unreachable_dropped }

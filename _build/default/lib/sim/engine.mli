@@ -1,0 +1,72 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns simulated time, the event queue, the network
+    topology and the cost model.  Protocol layers interact with it
+    through three primitives: [subscribe] (receive messages addressed to
+    a node), [send]/[multicast] (transmit a payload) and
+    [after_node]/[after] (timers).
+
+    Determinism: events are ordered by [(time, insertion sequence)], all
+    randomness comes from the engine's seeded {!Plwg_util.Rng}, and
+    handlers fire in subscription order — so a run is a pure function of
+    the seed and the fault script. *)
+
+type t
+
+type cancel = unit -> unit
+(** Cancels a pending timer; idempotent. *)
+
+val create : ?model:Model.t -> seed:int -> n_nodes:int -> unit -> t
+
+val topology : t -> Topology.t
+val model : t -> Model.t
+val now : t -> Time.t
+
+val rng : t -> Plwg_util.Rng.t
+(** The engine's root generator.  Layers should [Rng.split] it once at
+    setup rather than drawing from it during the run. *)
+
+val subscribe : t -> Node_id.t -> (src:Node_id.t -> Payload.t -> unit) -> unit
+(** Register a receive handler for a node.  Multiple layers may
+    subscribe to the same node; each delivery invokes all of them in
+    subscription order. *)
+
+val send : t -> src:Node_id.t -> dst:Node_id.t -> Payload.t -> unit
+(** Transmit one message.  Silently dropped when the sender is crashed,
+    the destination is unreachable (at send or arrival time), or the
+    wire loses it.  Delivery pays link latency plus queueing through the
+    destination's CPU ([Model.proc_time]). *)
+
+val multicast : t -> src:Node_id.t -> dsts:Node_id.t list -> Payload.t -> unit
+(** Fan-out [send] to every destination; a destination equal to the
+    source receives a local loop-back copy (no wire, still pays CPU). *)
+
+val after : t -> Time.span -> (unit -> unit) -> cancel
+(** Global timer (fault scripts, measurements); fires unconditionally. *)
+
+val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
+(** Node timer: skipped if the node is crashed when it fires. *)
+
+(* Fault injection *)
+
+val crash : t -> Node_id.t -> unit
+val recover : t -> Node_id.t -> unit
+val set_partition : t -> Node_id.t list list -> unit
+val heal : t -> unit
+
+(* Execution *)
+
+val run : t -> until:Time.t -> unit
+(** Execute all events with time <= [until]; afterwards [now] = [until]. *)
+
+val run_span : t -> Time.span -> unit
+(** [run t ~until:(now t + span)]. *)
+
+val run_until_idle : ?limit:Time.t -> t -> unit
+(** Execute until the queue drains or simulated time would pass [limit]
+    (default 1 hour).  Periodic protocol timers never drain, so most
+    callers want [run]. *)
+
+type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
+
+val stats : t -> stats

@@ -1,0 +1,26 @@
+type step =
+  | Crash of Node_id.t
+  | Recover of Node_id.t
+  | Partition of Node_id.t list list
+  | Heal
+
+let apply engine = function
+  | Crash node -> Engine.crash engine node
+  | Recover node -> Engine.recover engine node
+  | Partition classes -> Engine.set_partition engine classes
+  | Heal -> Engine.heal engine
+
+let install engine script =
+  List.iter
+    (fun (time, step) ->
+      let delay = max 0 (Time.diff time (Engine.now engine)) in
+      let (_ : Engine.cancel) = Engine.after engine delay (fun () -> apply engine step) in
+      ())
+    script
+
+let pp_step ppf = function
+  | Crash node -> Format.fprintf ppf "crash %a" Node_id.pp node
+  | Recover node -> Format.fprintf ppf "recover %a" Node_id.pp node
+  | Partition classes ->
+      Format.fprintf ppf "partition %a" (Format.pp_print_list ~pp_sep:Format.pp_print_space Node_id.pp_list) classes
+  | Heal -> Format.fprintf ppf "heal"

@@ -1,0 +1,13 @@
+(** Declarative fault scripts for experiments and tests. *)
+
+type step =
+  | Crash of Node_id.t
+  | Recover of Node_id.t
+  | Partition of Node_id.t list list  (** connectivity classes; must cover the universe *)
+  | Heal
+
+val install : Engine.t -> (Time.t * step) list -> unit
+(** Schedule each step at its absolute time.  Times in the past of the
+    engine's current clock fire immediately on the next [run]. *)
+
+val pp_step : Format.formatter -> step -> unit

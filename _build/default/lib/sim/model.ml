@@ -1,0 +1,12 @@
+type t = {
+  link_base : Time.span;
+  link_jitter : Time.span;
+  drop_prob : float;
+  proc_time : Time.span;
+}
+
+let default = { link_base = Time.us 200; link_jitter = Time.us 100; drop_prob = 0.0; proc_time = Time.us 20 }
+
+let lossless = { default with link_jitter = 0; drop_prob = 0.0 }
+
+let lossy p = { default with drop_prob = p }

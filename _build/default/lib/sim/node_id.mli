@@ -1,0 +1,15 @@
+(** Identity of a simulated node (process). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,14 @@
+type t = ..
+
+let printers : (t -> string option) list ref = ref []
+
+let register_printer p = printers := p :: !printers
+
+let to_string payload =
+  let rec try_all = function
+    | [] -> "<payload>"
+    | p :: rest -> ( match p payload with Some s -> s | None -> try_all rest)
+  in
+  try_all !printers
+
+let pp ppf payload = Format.pp_print_string ppf (to_string payload)

@@ -1,0 +1,1 @@
+lib/transport/transport.ml: Array Engine Hashtbl Int List Node_id Payload Plwg_sim Printf Time Topology

@@ -1,0 +1,1 @@
+lib/transport/transport.mli: Plwg_sim

@@ -1,0 +1,228 @@
+open Plwg_sim
+
+type Payload.t +=
+  | Seg of { conn : int; seq : int; body : Payload.t }
+  | Ack of { conn : int; next : int }
+
+let () =
+  Payload.register_printer (function
+    | Seg { conn; seq; body } -> Some (Printf.sprintf "seg(c%d,#%d,%s)" conn seq (Payload.to_string body))
+    | Ack { conn; next } -> Some (Printf.sprintf "ack(c%d,>%d)" conn next)
+    | _ -> None)
+
+type config = { rto : Time.span; max_rto : Time.span; give_up_after : int }
+
+let default_config = { rto = Time.ms 20; max_rto = Time.ms 320; give_up_after = 8 }
+
+(* Sender side of one (src, dst) connection. *)
+type out_conn = {
+  mutable out_id : int;
+  mutable next_seq : int;
+  mutable unacked : (int * Payload.t) list; (* oldest first *)
+  mutable acked_progress : int; (* value of peer's last cumulative ack *)
+  mutable retries : int;
+  mutable cur_rto : Time.span;
+  mutable timer : Engine.cancel option;
+}
+
+(* Receiver side of one (src, dst) connection. *)
+type in_conn = {
+  mutable in_id : int;
+  mutable next_expected : int;
+  mutable out_of_order : (int * Payload.t) list; (* sorted by seq *)
+  mutable ack_pending : bool;
+}
+
+type endpoint = {
+  node : Node_id.t;
+  engine : Engine.t;
+  config : config;
+  mutable conn_counter : int;
+  outs : (Node_id.t, out_conn) Hashtbl.t;
+  ins : (Node_id.t, in_conn) Hashtbl.t;
+  mutable handlers : (src:Node_id.t -> Payload.t -> unit) list;
+}
+
+type t = { fabric_engine : Engine.t; fabric_config : config; endpoints : endpoint option array }
+
+let create ?(config = default_config) engine =
+  {
+    fabric_engine = engine;
+    fabric_config = config;
+    endpoints = Array.make (Topology.n_nodes (Engine.topology engine)) None;
+  }
+
+let engine t = t.fabric_engine
+
+let deliver ep ~src body = List.iter (fun handler -> handler ~src body) ep.handlers
+
+let ack_delay = Time.ms 5
+
+let get_in ep src =
+  match Hashtbl.find_opt ep.ins src with
+  | Some ic -> ic
+  | None ->
+      let ic = { in_id = -1; next_expected = 0; out_of_order = []; ack_pending = false } in
+      Hashtbl.add ep.ins src ic;
+      ic
+
+let send_ack ep ~dst ic =
+  if not ic.ack_pending then begin
+    ic.ack_pending <- true;
+    let fire () =
+      ic.ack_pending <- false;
+      Engine.send ep.engine ~src:ep.node ~dst (Ack { conn = ic.in_id; next = ic.next_expected })
+    in
+    let (_ : Engine.cancel) = Engine.after_node ep.engine ep.node ack_delay fire in
+    ()
+  end
+
+let rec drain_in_order ep ~src ic =
+  match ic.out_of_order with
+  | (seq, body) :: rest when seq = ic.next_expected ->
+      ic.out_of_order <- rest;
+      ic.next_expected <- seq + 1;
+      deliver ep ~src body;
+      drain_in_order ep ~src ic
+  | (seq, _) :: rest when seq < ic.next_expected ->
+      ic.out_of_order <- rest;
+      drain_in_order ep ~src ic
+  | _ -> ()
+
+let on_seg ep ~src ~conn ~seq body =
+  let ic = get_in ep src in
+  if conn > ic.in_id then begin
+    (* peer reset the connection: restart the stream *)
+    ic.in_id <- conn;
+    ic.next_expected <- 0;
+    ic.out_of_order <- []
+  end;
+  if conn = ic.in_id then begin
+    if seq = ic.next_expected then begin
+      ic.next_expected <- seq + 1;
+      deliver ep ~src body;
+      drain_in_order ep ~src ic
+    end
+    else if seq > ic.next_expected && not (List.mem_assoc seq ic.out_of_order) then
+      ic.out_of_order <- List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, body) :: ic.out_of_order);
+    send_ack ep ~dst:src ic
+  end
+(* conn < ic.in_id: stale fragment of an abandoned connection; drop. *)
+
+let reset_out ep oc =
+  (match oc.timer with Some cancel -> cancel () | None -> ());
+  ep.conn_counter <- ep.conn_counter + 1;
+  oc.out_id <- ep.conn_counter;
+  oc.next_seq <- 0;
+  oc.unacked <- [];
+  oc.acked_progress <- 0;
+  oc.retries <- 0;
+  oc.cur_rto <- ep.config.rto;
+  oc.timer <- None
+
+let retransmit_batch = 32
+
+let rec arm_timer ep ~dst oc =
+  let fire () =
+    oc.timer <- None;
+    if oc.unacked <> [] then begin
+      oc.retries <- oc.retries + 1;
+      if oc.retries > ep.config.give_up_after then reset_out ep oc
+      else begin
+        let rec resend count = function
+          | [] -> ()
+          | (seq, body) :: rest ->
+              if count < retransmit_batch then begin
+                Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
+                resend (count + 1) rest
+              end
+        in
+        resend 0 oc.unacked;
+        oc.cur_rto <- min (oc.cur_rto * 2) ep.config.max_rto;
+        arm_timer ep ~dst oc
+      end
+    end
+  in
+  oc.timer <- Some (Engine.after_node ep.engine ep.node oc.cur_rto fire)
+
+let get_out ep dst =
+  match Hashtbl.find_opt ep.outs dst with
+  | Some oc -> oc
+  | None ->
+      ep.conn_counter <- ep.conn_counter + 1;
+      let oc =
+        {
+          out_id = ep.conn_counter;
+          next_seq = 0;
+          unacked = [];
+          acked_progress = 0;
+          retries = 0;
+          cur_rto = ep.config.rto;
+          timer = None;
+        }
+      in
+      Hashtbl.add ep.outs dst oc;
+      oc
+
+let on_ack ep ~src ~conn ~next =
+  match Hashtbl.find_opt ep.outs src with
+  | Some oc when oc.out_id = conn ->
+      if next > oc.acked_progress then begin
+        oc.acked_progress <- next;
+        oc.retries <- 0;
+        oc.cur_rto <- ep.config.rto
+      end;
+      oc.unacked <- List.filter (fun (seq, _) -> seq >= next) oc.unacked;
+      if oc.unacked = [] then begin
+        (match oc.timer with Some cancel -> cancel () | None -> ());
+        oc.timer <- None
+      end
+  | Some _ | None -> ()
+
+let handle ep ~src payload =
+  match payload with
+  | Seg { conn; seq; body } -> on_seg ep ~src ~conn ~seq body
+  | Ack { conn; next } -> on_ack ep ~src ~conn ~next
+  | other -> deliver ep ~src other (* best-effort datagram *)
+
+let endpoint t node =
+  match t.endpoints.(node) with
+  | Some ep -> ep
+  | None ->
+      let ep =
+        {
+          node;
+          engine = t.fabric_engine;
+          config = t.fabric_config;
+          conn_counter = 0;
+          outs = Hashtbl.create 16;
+          ins = Hashtbl.create 16;
+          handlers = [];
+        }
+      in
+      t.endpoints.(node) <- Some ep;
+      Engine.subscribe t.fabric_engine node (fun ~src payload -> handle ep ~src payload);
+      ep
+
+let send ep ~dst body =
+  if dst = ep.node then
+    (* local loop-back: the engine's self-delivery is already reliable FIFO *)
+    Engine.send ep.engine ~src:ep.node ~dst body
+  else begin
+    let oc = get_out ep dst in
+    let seq = oc.next_seq in
+    oc.next_seq <- seq + 1;
+    oc.unacked <- oc.unacked @ [ (seq, body) ];
+    Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
+    if oc.timer = None then arm_timer ep ~dst oc
+  end
+
+let send_raw ep ~dst payload = Engine.send ep.engine ~src:ep.node ~dst payload
+
+let on_receive ep handler = ep.handlers <- ep.handlers @ [ handler ]
+
+let broadcast_raw t ~src payload =
+  let nodes = Topology.all_nodes (Engine.topology t.fabric_engine) in
+  Engine.multicast t.fabric_engine ~src ~dsts:nodes payload
+
+let in_flight ep = Hashtbl.fold (fun _ oc acc -> acc + List.length oc.unacked) ep.outs 0

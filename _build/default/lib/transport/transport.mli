@@ -1,0 +1,52 @@
+(** Reliable FIFO point-to-point channels over the lossy simulated network.
+
+    Guarantees, per ordered pair of nodes: messages are delivered in
+    send order, without duplication, while the two nodes stay mutually
+    reachable.  Loss is masked by acknowledgement + retransmission with
+    exponential backoff.  When retransmission gives up (e.g. the peer is
+    partitioned away), the connection resets: queued messages are
+    discarded and a later send starts a fresh connection epoch, so stale
+    fragments of the old stream are never delivered out of order.
+
+    This mirrors what group-communication stacks build on UDP; the
+    virtual-synchrony layer assumes exactly this service and handles the
+    connection-reset (= message-cut) case with its flush protocol. *)
+
+type t
+(** One transport fabric per engine; hands out per-node endpoints. *)
+
+type endpoint
+
+type config = {
+  rto : Plwg_sim.Time.span;  (** initial retransmission timeout *)
+  max_rto : Plwg_sim.Time.span;  (** backoff cap *)
+  give_up_after : int;  (** retransmissions before the connection resets *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Plwg_sim.Engine.t -> t
+
+val engine : t -> Plwg_sim.Engine.t
+
+val endpoint : t -> Plwg_sim.Node_id.t -> endpoint
+(** The endpoint for a node; created on first use, shared afterwards. *)
+
+val send : endpoint -> dst:Plwg_sim.Node_id.t -> Plwg_sim.Payload.t -> unit
+
+val on_receive : endpoint -> (src:Plwg_sim.Node_id.t -> Plwg_sim.Payload.t -> unit) -> unit
+(** Register a receive handler; all handlers run on every delivery, in
+    registration order.  Layers dispatch on their own payload
+    constructors. *)
+
+val send_raw : endpoint -> dst:Plwg_sim.Node_id.t -> Plwg_sim.Payload.t -> unit
+(** Best-effort unicast datagram: no retransmission, no ordering
+    guarantee relative to channel traffic.  Suited to periodic
+    full-state pushes (anti-entropy gossip, heartbeats). *)
+
+val broadcast_raw : t -> src:Plwg_sim.Node_id.t -> Plwg_sim.Payload.t -> unit
+(** Best-effort datagram to every node of the universe (models LAN/IP
+    multicast).  No retransmission; received through the same handlers. *)
+
+val in_flight : endpoint -> int
+(** Unacknowledged messages queued at this endpoint (for tests). *)

@@ -1,0 +1,26 @@
+(** Imperative binary min-heap, used as the simulator's event queue.
+
+    Elements are ordered by a user-supplied comparison.  Ties must be
+    broken by the caller (the simulator orders events by
+    [(time, sequence-number)]) so that extraction order is total and
+    deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, if any. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in heap (not sorted) order. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from one of these
+    generators, so a run is fully reproducible from its seed.  [split]
+    derives an independent stream, which lets subsystems consume
+    randomness without perturbing each other. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator from a 63-bit seed. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. *)
+
+val copy : t -> t
+(** Clone the current state (the clone replays the same stream). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.  @raise Invalid_argument on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)

@@ -1,0 +1,1 @@
+lib/vsync/hwg.ml: Engine Format Gid Hashtbl Int List Logs Node_id Payload Plwg_detector Plwg_sim Plwg_transport Plwg_util Printf String Time Types View View_id

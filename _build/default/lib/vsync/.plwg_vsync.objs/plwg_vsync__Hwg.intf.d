@@ -1,0 +1,1 @@
+lib/vsync/hwg.mli: Gid Node_id Payload Plwg_detector Plwg_sim Plwg_transport Time Types View View_id

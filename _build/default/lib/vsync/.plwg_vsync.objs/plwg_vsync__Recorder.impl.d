@@ -1,0 +1,1 @@
+lib/vsync/recorder.ml: Format Gid Hashtbl Hwg List Node_id Plwg_sim Time Types View View_id

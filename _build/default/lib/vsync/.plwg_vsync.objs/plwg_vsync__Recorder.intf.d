@@ -1,0 +1,1 @@
+lib/vsync/recorder.mli: Gid Hwg Node_id Plwg_sim Time Types View

@@ -1,0 +1,1 @@
+lib/vsync/types.ml: Format Int List Map Node_id Payload Plwg_sim Set

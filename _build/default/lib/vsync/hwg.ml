@@ -1,0 +1,1006 @@
+open Plwg_sim
+open Types
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type Payload.t +=
+  | Hw_join_announce of { group : Gid.t; joiner : Node_id.t }
+  | Hw_view_announce of { group : Gid.t; view_id : View_id.t; members : Node_id.t list }
+  | Hw_change_req of {
+      group : Gid.t;
+      joiners : Node_id.t list;
+      leavers : Node_id.t list;
+      foreign : Node_id.t list;
+      flush : bool;
+    }
+  | Hw_stop of { group : Gid.t; epoch : int; coord : Node_id.t; proposal : Node_id.t list }
+  | Hw_stop_nack of { group : Gid.t; epoch : int }
+  | Hw_flushed of {
+      group : Gid.t;
+      epoch : int;
+      from : Node_id.t;
+      prev : View.t option;
+      delivered : (Node_id.t * int) list;
+      store : app_msg list;
+      leaving : bool;
+    }
+  | Hw_install of { group : Gid.t; epoch : int; view : View.t; sync : app_msg list; you_left : bool }
+  | Hw_data of { group : Gid.t; view_id : View_id.t; msg : app_msg }
+  | Hw_to_req of { group : Gid.t; view_id : View_id.t; origin : Node_id.t; local_id : int; body : Payload.t }
+  | Hw_stable of { group : Gid.t; view_id : View_id.t; from : Node_id.t; delivered : (Node_id.t * int) list }
+
+let () =
+  Payload.register_printer (function
+    | Hw_join_announce { group; joiner } ->
+        Some (Format.asprintf "hw-join(%a,%a)" Gid.pp group Node_id.pp joiner)
+    | Hw_view_announce { group; view_id; members } ->
+        Some (Format.asprintf "hw-announce(%a,%a,%a)" Gid.pp group View_id.pp view_id Node_id.pp_list members)
+    | Hw_change_req { group; _ } -> Some (Format.asprintf "hw-change-req(%a)" Gid.pp group)
+    | Hw_stop { group; epoch; coord; _ } ->
+        Some (Format.asprintf "hw-stop(%a,e%d,%a)" Gid.pp group epoch Node_id.pp coord)
+    | Hw_stop_nack { group; epoch } -> Some (Format.asprintf "hw-stop-nack(%a,e%d)" Gid.pp group epoch)
+    | Hw_flushed { group; epoch; from; _ } ->
+        Some (Format.asprintf "hw-flushed(%a,e%d,%a)" Gid.pp group epoch Node_id.pp from)
+    | Hw_install { group; epoch; view; _ } ->
+        Some (Format.asprintf "hw-install(%a,e%d,%a)" Gid.pp group epoch View.pp view)
+    | Hw_data { group; view_id; msg } ->
+        Some (Format.asprintf "hw-data(%a,%a,%a)" Gid.pp group View_id.pp view_id pp_app_msg msg)
+    | Hw_to_req { group; origin; local_id; _ } ->
+        Some (Format.asprintf "hw-to-req(%a,%a/#%d)" Gid.pp group Node_id.pp origin local_id)
+    | Hw_stable { group; from; _ } -> Some (Format.asprintf "hw-stable(%a,%a)" Gid.pp group Node_id.pp from)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and callbacks                                         *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  announce_period : Time.span;
+  tick_period : Time.span;
+  join_timeout : Time.span;
+  flush_deadline : Time.span;
+  auto_stop_ok : bool;
+  stability_period : Time.span;
+      (** how often members exchange delivery vectors so stable messages
+          can be pruned from the retransmission store; 0 disables *)
+}
+
+let default_config =
+  {
+    announce_period = Time.ms 250;
+    tick_period = Time.ms 150;
+    join_timeout = Time.ms 500;
+    flush_deadline = Time.ms 600;
+    auto_stop_ok = true;
+    stability_period = Time.ms 500;
+  }
+
+type callbacks = {
+  on_view : Gid.t -> View.t -> unit;
+  on_data : Gid.t -> view_id:View_id.t -> src:Node_id.t -> Payload.t -> unit;
+  on_stop : Gid.t -> unit;
+}
+
+let no_callbacks = { on_view = (fun _ _ -> ()); on_data = (fun _ ~view_id:_ ~src:_ _ -> ()); on_stop = (fun _ -> ()) }
+
+type event =
+  | Installed of { node : Node_id.t; view : View.t }
+  | Delivered of { node : Node_id.t; group : Gid.t; view_id : View_id.t; origin : Node_id.t; local_id : int }
+  | Left of { node : Node_id.t; group : Gid.t }
+
+(* ------------------------------------------------------------------ *)
+(* Per-group state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type flush_info = {
+  fi_prev : View.t option;
+  fi_delivered : int Node_id.Map.t;
+  fi_store : app_msg list; (* reversed: newest first *)
+  fi_leaving : bool;
+}
+
+type change = {
+  ch_epoch : int;
+  ch_proposal : Node_id.Set.t;
+  mutable ch_flushed : flush_info Node_id.Map.t;
+  mutable ch_deadline : Engine.cancel;
+}
+
+type status =
+  | Joining of { mutable started : Time.t }
+  | Normal
+  | Stopped of { mutable st_epoch : int; mutable st_coord : Node_id.t; mutable acked : bool; st_since : Time.t }
+
+type gstate = {
+  group : Gid.t;
+  ordering : ordering;
+  mutable status : status;
+  mutable view : View.t option;
+  mutable epoch : int;
+  mutable view_seq : int;
+  mutable next_seq : int;
+  mutable next_local : int;
+  mutable delivered : int Node_id.Map.t;
+  mutable to_delivered : int Node_id.Map.t; (* per origin, across views *)
+  mutable to_stamped : int Node_id.Map.t; (* coordinator, per view *)
+  mutable store : app_msg list; (* reversed; pruned below the stability floor *)
+  mutable stable_floor : int Node_id.Map.t; (* per sender: all members delivered below this *)
+  mutable peer_delivered : int Node_id.Map.t Node_id.Map.t; (* member -> delivery vector, current view *)
+  mutable frozen : (View_id.t * app_msg) list; (* reversed arrival order *)
+  mutable outbox : Payload.t list; (* reversed *)
+  mutable to_pending : (int * Payload.t) list; (* oldest first *)
+  mutable joiners : Node_id.Set.t;
+  mutable leavers : Node_id.Set.t;
+  mutable foreign : (Time.t * Node_id.t) list;
+  mutable last_proposal : Node_id.Set.t; (* from the latest accepted STOP: candidates, not leaders *)
+  mutable want_flush : bool;
+  mutable leaving_self : bool;
+  mutable change : change option;
+}
+
+type t = {
+  node : Node_id.t;
+  engine : Engine.t;
+  endpoint : Transport.endpoint;
+  detector : Detector.t;
+  config : config;
+  callbacks : callbacks;
+  recorder : (Time.t -> event -> unit) option;
+  transport : Transport.t;
+  states : (Gid.t, gstate) Hashtbl.t;
+  seq_floor : (Gid.t, int) Hashtbl.t; (* highest view seq seen per group, across incarnations *)
+  mutable gid_counter : int;
+}
+
+let node t = t.node
+
+let record t event = match t.recorder with Some r -> r (Engine.now t.engine) event | None -> ()
+
+let lookup t group = Hashtbl.find_opt t.states group
+
+let delivered_count map sender = match Node_id.Map.find_opt sender map with Some n -> n | None -> 0
+
+let unicast t ~dst payload = Transport.send t.endpoint ~dst payload
+
+let broadcast t payload = Transport.broadcast_raw t.transport ~src:t.node payload
+
+let fresh_gid t =
+  t.gid_counter <- t.gid_counter + 1;
+  { Gid.seq = t.gid_counter; origin = t.node }
+
+let foreign_ttl = Time.ms 1200
+
+let fresh_foreign t g =
+  let now = Engine.now t.engine in
+  g.foreign <- List.filter (fun (seen, _) -> Time.diff now seen <= foreign_ttl) g.foreign;
+  List.fold_left (fun acc (_, n) -> Node_id.Set.add n acc) Node_id.Set.empty g.foreign
+
+let add_foreign t g nodes =
+  let now = Engine.now t.engine in
+  let known = List.map snd g.foreign in
+  let extra = List.filter (fun n -> n <> t.node && not (List.mem n known)) nodes in
+  (* refresh timestamps of re-announced nodes *)
+  g.foreign <-
+    List.map (fun (seen, n) -> if List.mem n nodes then (now, n) else (seen, n)) g.foreign
+    @ List.map (fun n -> (now, n)) extra
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let frozen_cap = 10_000
+
+let deliver_upcall t g msg ~view_id =
+  let upcall =
+    match g.ordering with
+    | Fifo | Causal -> true
+    | Total ->
+        (* dedup re-stamped total-order messages across view changes *)
+        let seen = delivered_count g.to_delivered msg.origin in
+        if msg.local_id >= seen then begin
+          g.to_delivered <- Node_id.Map.add msg.origin (msg.local_id + 1) g.to_delivered;
+          true
+        end
+        else false
+  in
+  if upcall then begin
+    if msg.origin = t.node then g.to_pending <- List.filter (fun (id, _) -> id <> msg.local_id) g.to_pending;
+    record t (Delivered { node = t.node; group = g.group; view_id; origin = msg.origin; local_id = msg.local_id });
+    t.callbacks.on_data g.group ~view_id ~src:msg.origin msg.body
+  end
+
+let deliver_now t g msg ~view_id =
+  g.delivered <- Node_id.Map.add msg.sender (msg.seq + 1) g.delivered;
+  g.store <- msg :: g.store;
+  deliver_upcall t g msg ~view_id
+
+(* A message is deliverable when it is the sender's next (FIFO) and, in
+   causal mode, every delivery its vector clock records has happened
+   here too. *)
+let deliverable g msg =
+  msg.seq = delivered_count g.delivered msg.sender
+  &&
+  match g.ordering with
+  | Fifo | Total -> true
+  | Causal ->
+      List.for_all
+        (fun (node, count) -> node = msg.sender || delivered_count g.delivered node >= count)
+        msg.vc
+
+(* Deliver any frozen messages for the current view that are now in
+   order. *)
+let rec drain_frozen t g =
+  match g.view with
+  | None -> ()
+  | Some view ->
+      let ready, rest =
+        List.partition (fun (vid, msg) -> View_id.equal vid view.View.id && deliverable g msg) g.frozen
+      in
+      if ready <> [] then begin
+        g.frozen <- rest;
+        let ready = List.sort (fun (_, a) (_, b) -> Int.compare a.seq b.seq) ready in
+        List.iter (fun (_, msg) -> deliver_now t g msg ~view_id:view.View.id) ready;
+        drain_frozen t g
+      end
+
+let freeze t g view_id msg =
+  ignore t;
+  g.frozen <- (view_id, msg) :: g.frozen;
+  if List.length g.frozen > frozen_cap then
+    g.frozen <- List.filteri (fun i _ -> i < frozen_cap) g.frozen
+
+(* ------------------------------------------------------------------ *)
+(* Sending                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let multicast_data t g msg =
+  match g.view with
+  | None -> ()
+  | Some view ->
+      List.iter
+        (fun dst -> unicast t ~dst (Hw_data { group = g.group; view_id = view.View.id; msg }))
+        view.View.members
+
+let stamp_and_multicast t g ~origin ~local_id body =
+  match g.view with
+  | None -> ()
+  | Some _ ->
+      let seq = g.next_seq in
+      g.next_seq <- seq + 1;
+      let vc =
+        match g.ordering with
+        | Causal -> Node_id.Map.bindings g.delivered
+        | Fifo | Total -> []
+      in
+      multicast_data t g { sender = t.node; seq; origin; local_id; vc; body }
+
+let send_in_view t g body =
+  match g.view with
+  | None -> g.outbox <- body :: g.outbox
+  | Some view -> (
+      match g.ordering with
+      | Fifo | Causal ->
+          let local_id = g.next_local in
+          g.next_local <- local_id + 1;
+          stamp_and_multicast t g ~origin:t.node ~local_id body
+      | Total ->
+          let local_id = g.next_local in
+          g.next_local <- local_id + 1;
+          g.to_pending <- g.to_pending @ [ (local_id, body) ];
+          let coord = View.coordinator view in
+          if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
+          else
+            unicast t ~dst:coord
+              (Hw_to_req { group = g.group; view_id = view.View.id; origin = t.node; local_id; body }))
+
+let send t group body =
+  match lookup t group with
+  | None -> invalid_arg "Hwg.send: not a member of the group"
+  | Some g -> (
+      match g.status with
+      | Normal -> send_in_view t g body
+      | Joining _ | Stopped _ -> g.outbox <- body :: g.outbox)
+
+(* ------------------------------------------------------------------ *)
+(* View installation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let note_seq t group seq =
+  let floor = try Hashtbl.find t.seq_floor group with Not_found -> 0 in
+  if seq > floor then Hashtbl.replace t.seq_floor group seq
+
+let seq_floor_of t group = try Hashtbl.find t.seq_floor group with Not_found -> 0
+
+let reset_for_view t g view =
+  note_seq t g.group view.View.id.View_id.seq;
+  g.view <- Some view;
+  g.status <- Normal;
+  g.next_seq <- 0;
+  g.delivered <- Node_id.Map.empty;
+  g.to_stamped <- Node_id.Map.empty;
+  g.store <- [];
+  g.stable_floor <- Node_id.Map.empty;
+  g.peer_delivered <- Node_id.Map.empty;
+  g.joiners <- Node_id.Set.diff g.joiners (View.members_set view);
+  g.leavers <- Node_id.Set.inter g.leavers (View.members_set view);
+  g.foreign <- List.filter (fun (_, n) -> not (View.mem n view)) g.foreign;
+  g.last_proposal <- Node_id.Set.empty;
+  g.view_seq <- max g.view_seq view.View.id.View_id.seq;
+  record t (Installed { node = t.node; view });
+  t.callbacks.on_view g.group view
+
+let after_install_resume t g =
+  (* catch up on traffic that raced ahead of the install *)
+  drain_frozen t g;
+  (* flush application sends buffered during the change *)
+  let queued = List.rev g.outbox in
+  g.outbox <- [];
+  List.iter (fun body -> send_in_view t g body) queued;
+  (* total-order mode: re-request messages the old view never delivered *)
+  match g.ordering with
+  | Fifo | Causal -> ()
+  | Total -> (
+      match g.view with
+      | None -> ()
+      | Some view ->
+          let coord = View.coordinator view in
+          List.iter
+            (fun (local_id, body) ->
+              if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
+              else
+                unicast t ~dst:coord
+                  (Hw_to_req { group = g.group; view_id = view.View.id; origin = t.node; local_id; body }))
+            g.to_pending)
+
+let remove_group t g =
+  (match g.change with Some change -> change.ch_deadline () | None -> ());
+  Hashtbl.remove t.states g.group;
+  record t (Left { node = t.node; group = g.group })
+
+(* ------------------------------------------------------------------ *)
+(* The membership protocol                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The functions below are mutually recursive: evaluation can initiate
+   a change, whose local Stop loops back into the handler, etc. *)
+
+let rec evaluate t g =
+  match g.status with
+  | Joining _ -> ()
+  | Normal | Stopped _ ->
+      let reachable = Detector.reachable_set t.detector in
+      let current = match g.view with Some v -> View.members_set v | None -> Node_id.Set.empty in
+      let candidates =
+        Node_id.Set.union current
+          (Node_id.Set.union g.joiners (Node_id.Set.union (fresh_foreign t g) g.last_proposal))
+      in
+      let desired = Node_id.Set.add t.node (Node_id.Set.inter candidates reachable) in
+      let pending_leaver = not (Node_id.Set.is_empty (Node_id.Set.inter g.leavers desired)) in
+      let membership_changed = not (Node_id.Set.equal desired current) in
+      if membership_changed || pending_leaver || g.want_flush then begin
+        (* Only nodes that hold a view may coordinate a change: a joiner
+           with the smallest id would otherwise deadlock the group
+           (members defer to it, it cannot lead), and a stopped joiner
+           self-electing would livelock the real coordinator's change
+           with ever-higher epochs. *)
+        let pool =
+          Node_id.Set.inter (Node_id.Set.union current (fresh_foreign t g)) reachable
+        in
+        if g.view = None then begin
+          let others = Node_id.Set.remove t.node pool in
+          if not (Node_id.Set.is_empty others) then
+            unicast t ~dst:(Node_id.Set.min_elt others)
+              (Hw_change_req
+                 {
+                   group = g.group;
+                   joiners = Node_id.Set.elements (Node_id.Set.add t.node g.joiners);
+                   leavers = Node_id.Set.elements g.leavers;
+                   foreign = [];
+                   flush = false;
+                 })
+          else
+            (* every known view-holder is gone: restart the join cycle
+               (after some patience, in case our install is in flight) *)
+            match g.status with
+            | Stopped { st_since; _ }
+              when Time.diff (Engine.now t.engine) st_since > 2 * t.config.flush_deadline ->
+                g.status <- Joining { started = Engine.now t.engine }
+            | Stopped _ | Joining _ | Normal -> ()
+        end
+        else begin
+        let pool = Node_id.Set.add t.node pool in
+        let coord = Node_id.Set.min_elt pool in
+        if coord = t.node then begin
+          match g.change with
+          | Some change when Node_id.Set.equal change.ch_proposal desired -> () (* already in progress *)
+          | Some change ->
+              change.ch_deadline ();
+              g.change <- None;
+              initiate t g desired
+          | None -> initiate t g desired
+        end
+        else begin
+          (* abandon any change I coordinate: a smaller node should lead *)
+          (match g.change with
+          | Some change ->
+              change.ch_deadline ();
+              g.change <- None
+          | None -> ());
+          unicast t ~dst:coord
+            (Hw_change_req
+               {
+                 group = g.group;
+                 joiners = Node_id.Set.elements g.joiners;
+                 leavers = Node_id.Set.elements g.leavers;
+                 foreign = Node_id.Set.elements (Node_id.Set.remove coord (Node_id.Set.add t.node (fresh_foreign t g)));
+                 flush = g.want_flush;
+               })
+        end
+        end
+      end
+
+and initiate t g desired =
+  g.epoch <- g.epoch + 1;
+  Logs.debug (fun m -> m "n%d initiate %s e%d proposal=%s" t.node (Gid.to_string g.group) g.epoch (String.concat "," (List.map string_of_int (Node_id.Set.elements desired))));
+  let epoch = g.epoch in
+  let deadline = Engine.after_node t.engine t.node t.config.flush_deadline (fun () -> on_deadline t g epoch) in
+  g.change <- Some { ch_epoch = epoch; ch_proposal = desired; ch_flushed = Node_id.Map.empty; ch_deadline = deadline };
+  let proposal = Node_id.Set.elements desired in
+  List.iter
+    (fun dst -> unicast t ~dst (Hw_stop { group = g.group; epoch; coord = t.node; proposal }))
+    proposal
+
+and on_deadline t g epoch =
+  match g.change with
+  | Some change when change.ch_epoch = epoch ->
+      (* restart without the silent members (keep self and responders) *)
+      g.change <- None;
+      let responders = Node_id.Map.fold (fun n _ acc -> Node_id.Set.add n acc) change.ch_flushed Node_id.Set.empty in
+      let reachable = Detector.reachable_set t.detector in
+      (* drop stale hints about nodes that did not respond *)
+      let silent = Node_id.Set.diff change.ch_proposal (Node_id.Set.union responders reachable) in
+      g.joiners <- Node_id.Set.diff g.joiners silent;
+      g.foreign <- List.filter (fun (_, n) -> not (Node_id.Set.mem n silent)) g.foreign;
+      g.last_proposal <- Node_id.Set.diff g.last_proposal silent;
+      evaluate t g
+  | Some _ | None -> ()
+
+and handle_stop t ~src:_ ~group ~epoch ~coord ~proposal =
+  match lookup t group with
+  | None ->
+      (* not a member (already left): let the coordinator exclude us *)
+      unicast t ~dst:coord
+        (Hw_flushed { group; epoch; from = t.node; prev = None; delivered = []; store = []; leaving = true })
+  | Some g ->
+      if epoch < g.epoch then begin
+        Logs.debug (fun m -> m "n%d nack-stop %s e%d<my e%d coord=%d" t.node (Gid.to_string group) epoch g.epoch coord);
+        unicast t ~dst:coord (Hw_stop_nack { group; epoch = g.epoch }) end
+      else begin
+        let accept =
+          epoch > g.epoch
+          ||
+          match g.status with
+          | Stopped { st_epoch; st_coord; _ } -> epoch > st_epoch || (epoch = st_epoch && coord <= st_coord)
+          | Joining _ | Normal -> true
+        in
+        if accept then begin
+          Logs.debug (fun m -> m "n%d accept-stop %s e%d coord=%d" t.node (Gid.to_string group) epoch coord);
+          g.epoch <- epoch;
+          (* the proposal tells us who else exists; remember for recovery,
+             but only as change candidates -- a proposal member may be a
+             joiner with no view, which must never be elected leader *)
+          g.last_proposal <- Node_id.Set.of_list proposal;
+          (match g.change with
+          | Some change when coord <> t.node ->
+              change.ch_deadline ();
+              g.change <- None
+          | Some _ | None -> ());
+          let was_stopped = match g.status with Stopped _ -> true | Joining _ | Normal -> false in
+          g.status <- Stopped { st_epoch = epoch; st_coord = coord; acked = false; st_since = Engine.now t.engine };
+          if not was_stopped then t.callbacks.on_stop group;
+          if t.config.auto_stop_ok || was_stopped then flush_reply t g
+        end
+      end
+
+and flush_reply t g =
+  match g.status with
+  | Stopped stop ->
+      stop.acked <- true;
+      let delivered = Node_id.Map.bindings g.delivered in
+      unicast t ~dst:stop.st_coord
+        (Hw_flushed
+           {
+             group = g.group;
+             epoch = stop.st_epoch;
+             from = t.node;
+             prev = g.view;
+             delivered;
+             store = g.store;
+             leaving = g.leaving_self;
+           })
+  | Joining _ | Normal -> ()
+
+and handle_stop_nack t ~group ~epoch =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.change with
+      | Some change when epoch >= change.ch_epoch ->
+          change.ch_deadline ();
+          g.change <- None;
+          g.epoch <- max g.epoch epoch;
+          evaluate t g
+      | Some _ | None -> g.epoch <- max g.epoch epoch)
+
+and handle_flushed t ~group ~epoch ~from ~info =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.change with
+      | Some change when change.ch_epoch = epoch && Node_id.Set.mem from change.ch_proposal ->
+          Logs.debug (fun m -> m "n%d flushed-from n%d %s e%d" t.node from (Gid.to_string group) epoch);
+          change.ch_flushed <- Node_id.Map.add from info change.ch_flushed;
+          let all_in =
+            Node_id.Set.for_all (fun member -> Node_id.Map.mem member change.ch_flushed) change.ch_proposal
+          in
+          if all_in then finalize t g change
+      | Some _ | None -> ())
+
+and finalize t g change =
+  Logs.debug (fun m -> m "n%d finalize %s e%d" t.node (Gid.to_string g.group) change.ch_epoch);
+  change.ch_deadline ();
+  g.change <- None;
+  let infos = change.ch_flushed in
+  let stayers =
+    Node_id.Set.filter
+      (fun member ->
+        match Node_id.Map.find_opt member infos with Some info -> not info.fi_leaving | None -> false)
+      change.ch_proposal
+  in
+  (* the new view id: minted by this coordinator, larger than every
+     predecessor's sequence number *)
+  let max_prev_seq =
+    Node_id.Map.fold
+      (fun _ info acc -> match info.fi_prev with Some v -> max acc v.View.id.View_id.seq | None -> acc)
+      infos g.view_seq
+  in
+  g.view_seq <- max_prev_seq + 1;
+  let view_id = { View_id.coord = t.node; seq = g.view_seq } in
+  let preds =
+    Node_id.Map.fold
+      (fun _ info acc ->
+        match info.fi_prev with
+        | Some v -> if List.exists (View_id.equal v.View.id) acc then acc else v.View.id :: acc
+        | None -> acc)
+      infos []
+  in
+  let view = View.make ~id:view_id ~group:g.group ~members:(Node_id.Set.elements stayers) ~preds in
+  (* virtual synchrony: per predecessor view, all of its members present
+     here must deliver the same prefix of every sender's stream *)
+  let by_prev = Hashtbl.create 8 in
+  Node_id.Map.iter
+    (fun member info ->
+      match info.fi_prev with
+      | Some prev ->
+          let key = prev.View.id in
+          let bucket = try Hashtbl.find by_prev key with Not_found -> [] in
+          Hashtbl.replace by_prev key ((member, info) :: bucket)
+      | None -> ())
+    infos;
+  let cuts = Hashtbl.create 8 in
+  (* cut per (prev view id): sender -> max delivered count *)
+  Hashtbl.iter
+    (fun prev_id bucket ->
+      let cut =
+        List.fold_left
+          (fun acc (_, info) ->
+            Node_id.Map.fold
+              (fun sender count acc -> Node_id.Map.add sender (max count (delivered_count acc sender)) acc)
+              info.fi_delivered acc)
+          Node_id.Map.empty bucket
+      in
+      (* index only the message bodies someone is actually missing; in
+         the common quiesced case every member already delivered the cut
+         and no body is needed at all *)
+      let floor =
+        List.fold_left
+          (fun acc (_, info) ->
+            Node_id.Map.mapi (fun sender upto -> min upto (delivered_count info.fi_delivered sender)) acc)
+          cut bucket
+      in
+      let needed sender seq =
+        seq >= delivered_count floor sender && seq < delivered_count cut sender
+      in
+      let bodies = Hashtbl.create 64 in
+      List.iter
+        (fun (_, info) ->
+          List.iter
+            (fun msg -> if needed msg.sender msg.seq then Hashtbl.replace bodies (msg.sender, msg.seq) msg)
+            info.fi_store)
+        bucket;
+      Hashtbl.replace cuts prev_id (cut, bodies))
+    by_prev;
+  let sync_for member info =
+    match info.fi_prev with
+    | None -> []
+    | Some prev -> (
+        match Hashtbl.find_opt cuts prev.View.id with
+        | None -> []
+        | Some (cut, bodies) ->
+            let missing = ref [] in
+            Node_id.Map.iter
+              (fun sender upto ->
+                let have = delivered_count info.fi_delivered sender in
+                for seq = have to upto - 1 do
+                  match Hashtbl.find_opt bodies (sender, seq) with
+                  | Some msg -> missing := msg :: !missing
+                  | None ->
+                      (* unreachable if stores are complete; losing the body
+                         would break virtual synchrony, so fail loudly *)
+                      Logs.err (fun m ->
+                          m "hwg %a: missing body %a/#%d for %a" Gid.pp g.group Node_id.pp sender seq Node_id.pp
+                            member)
+                done)
+              cut;
+            List.sort (fun a b -> compare (a.sender, a.seq) (b.sender, b.seq)) !missing)
+  in
+  Node_id.Map.iter
+    (fun member info ->
+      unicast t ~dst:member
+        (Hw_install
+           {
+             group = g.group;
+             epoch = change.ch_epoch;
+             view;
+             sync = sync_for member info;
+             you_left = info.fi_leaving;
+           }))
+    infos
+
+and handle_install t ~group ~epoch ~view ~sync ~you_left =
+  match lookup t group with
+  | None -> ()
+  | Some g ->
+      (* Only apply the install that answers our most recent flush: a
+         stale install from a superseded coordinator would desynchronise
+         the lineage (our flush state no longer matches it). *)
+      let expected =
+        match g.status with
+        | Stopped { st_epoch; st_coord; _ } -> epoch = st_epoch && view.View.id.View_id.coord = st_coord
+        | Joining _ | Normal -> false
+      in
+      if not expected then Logs.debug (fun m -> m "n%d reject-install %s e%d from-coord=%d status=%s" t.node (Gid.to_string group) epoch view.View.id.View_id.coord (match g.status with Stopped {st_epoch;st_coord;_} -> Printf.sprintf "stopped(e%d,c%d)" st_epoch st_coord | Joining _ -> "joining" | Normal -> "normal"));
+      if expected then begin
+        Logs.debug (fun m -> m "n%d install %s %s" t.node (Gid.to_string group) (Format.asprintf "%a" View.pp view));
+        g.epoch <- max g.epoch epoch;
+        (* deliver the synchronisation messages in the old view *)
+        let old_view_id = match g.view with Some v -> v.View.id | None -> view.View.id in
+        (* iterate to a fixpoint: in causal mode a later list element can
+           unblock an earlier one *)
+        let rec deliver_sync pending =
+          let ready, blocked = List.partition (fun msg -> deliverable g msg) pending in
+          if ready <> [] then begin
+            List.iter (fun msg -> deliver_now t g msg ~view_id:old_view_id) ready;
+            deliver_sync blocked
+          end
+        in
+        deliver_sync sync;
+        if you_left then remove_group t g
+        else begin
+          reset_for_view t g view;
+          after_install_resume t g
+        end
+      end
+
+and handle_change_req t ~group ~joiners ~leavers ~foreign ~flush =
+  match lookup t group with
+  | None -> ()
+  | Some g ->
+      g.joiners <- List.fold_left (fun acc n -> Node_id.Set.add n acc) g.joiners joiners;
+      g.leavers <- List.fold_left (fun acc n -> Node_id.Set.add n acc) g.leavers leavers;
+      add_foreign t g foreign;
+      if flush then g.want_flush <- true;
+      evaluate t g
+
+and handle_join_announce t ~group ~joiner =
+  match lookup t group with
+  | None -> ()
+  | Some g ->
+      if g.view <> None && not (Node_id.Set.mem joiner g.joiners) then begin
+        (match g.view with
+        | Some v when View.mem joiner v -> () (* already in *)
+        | Some _ | None -> g.joiners <- Node_id.Set.add joiner g.joiners);
+        evaluate t g
+      end
+
+and handle_view_announce t ~group ~view_id ~members =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.status with
+      | Joining since ->
+          (* the group exists elsewhere: keep announcing, do not form a
+             singleton view *)
+          since.started <- Engine.now t.engine;
+          add_foreign t g members
+      | Normal | Stopped _ -> (
+          match g.view with
+          | Some view when not (View_id.equal view.View.id view_id) ->
+              (* concurrent view of my group: remember its members so the
+                 evaluation merges us *)
+              add_foreign t g members;
+              evaluate t g
+          | Some _ -> ()
+          | None -> add_foreign t g members))
+
+and handle_data t ~group ~view_id ~msg =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.view with
+      | Some view when View_id.equal view.View.id view_id -> (
+          match g.status with
+          | Normal ->
+              if deliverable g msg then begin
+                deliver_now t g msg ~view_id;
+                drain_frozen t g
+              end
+              else if msg.seq >= delivered_count g.delivered msg.sender then freeze t g view_id msg
+          | Stopped _ ->
+              (* already flushed: the install's sync decides this one *)
+              freeze t g view_id msg
+          | Joining _ -> freeze t g view_id msg)
+      | Some _ | None -> freeze t g view_id msg)
+
+and handle_to_req t ~group ~view_id ~origin ~local_id ~body =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match (g.status, g.view) with
+      | Normal, Some view when View_id.equal view.View.id view_id && View.coordinator view = t.node ->
+          let stamped = delivered_count g.to_stamped origin in
+          if local_id >= stamped then begin
+            g.to_stamped <- Node_id.Map.add origin (local_id + 1) g.to_stamped;
+            stamp_and_multicast t g ~origin ~local_id body
+          end
+      | _, _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Periodic machinery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Stability exchange: every member periodically multicasts its
+   delivery vector for the current view.  Once every member is known to
+   have delivered a message, no flush can ever need its body again, so
+   it is pruned from the store. *)
+let broadcast_stability t g =
+  match (g.status, g.view) with
+  | Normal, Some view when g.store <> [] ->
+      List.iter
+        (fun dst ->
+          unicast t ~dst
+            (Hw_stable
+               { group = g.group; view_id = view.View.id; from = t.node; delivered = Node_id.Map.bindings g.delivered }))
+        view.View.members
+  | _, _ -> ()
+
+let handle_stable t ~group ~view_id ~from ~delivered =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.view with
+      | Some view when View_id.equal view.View.id view_id ->
+          let vector = List.fold_left (fun acc (n, c) -> Node_id.Map.add n c acc) Node_id.Map.empty delivered in
+          g.peer_delivered <- Node_id.Map.add from vector g.peer_delivered;
+          if List.for_all (fun member -> Node_id.Map.mem member g.peer_delivered) view.View.members then begin
+            let floor_for sender =
+              List.fold_left
+                (fun acc member ->
+                  match Node_id.Map.find_opt member g.peer_delivered with
+                  | Some vector -> min acc (delivered_count vector sender)
+                  | None -> 0)
+                max_int view.View.members
+            in
+            let senders =
+              List.sort_uniq Node_id.compare (List.map (fun m -> m.sender) g.store)
+            in
+            g.stable_floor <-
+              List.fold_left (fun acc sender -> Node_id.Map.add sender (floor_for sender) acc) Node_id.Map.empty
+                senders;
+            g.store <-
+              List.filter (fun msg -> msg.seq >= delivered_count g.stable_floor msg.sender) g.store
+          end
+      | Some _ | None -> ())
+
+let install_singleton t g =
+  g.view_seq <- g.view_seq + 1;
+  let view =
+    View.make ~id:{ View_id.coord = t.node; seq = g.view_seq } ~group:g.group ~members:[ t.node ] ~preds:[]
+  in
+  reset_for_view t g view;
+  after_install_resume t g
+
+let announce t g =
+  match (g.status, g.view) with
+  | (Normal | Stopped _), Some view when View.coordinator view = t.node ->
+      broadcast t (Hw_view_announce { group = g.group; view_id = view.View.id; members = view.View.members })
+  | _, _ -> ()
+
+let tick t g =
+  match g.status with
+  | Joining since ->
+      if Time.diff (Engine.now t.engine) since.started > t.config.join_timeout then install_singleton t g
+      else broadcast t (Hw_join_announce { group = g.group; joiner = t.node })
+  | Normal | Stopped _ -> evaluate t g
+
+let start_group_timers t g =
+  let alive () = Hashtbl.mem t.states g.group in
+  let rec tick_loop () =
+    if alive () then begin
+      tick t g;
+      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.tick_period tick_loop in
+      ()
+    end
+  in
+  let rec announce_loop () =
+    if alive () then begin
+      announce t g;
+      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.announce_period announce_loop in
+      ()
+    end
+  in
+  let rec stability_loop () =
+    if alive () then begin
+      broadcast_stability t g;
+      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.stability_period stability_loop in
+      ()
+    end
+  in
+  (* stagger the first firing so nodes do not tick in lock-step *)
+  let jitter = Time.us (Plwg_util.Rng.int (Engine.rng t.engine) (t.config.tick_period / 2)) in
+  let (_ : Engine.cancel) = Engine.after_node t.engine t.node jitter tick_loop in
+  let (_ : Engine.cancel) = Engine.after_node t.engine t.node (jitter + (t.config.announce_period / 3)) announce_loop in
+  if t.config.stability_period > 0 then begin
+    let (_ : Engine.cancel) =
+      Engine.after_node t.engine t.node (jitter + (t.config.stability_period / 2)) stability_loop
+    in
+    ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let join ?(ordering = Fifo) t group =
+  match lookup t group with
+  | Some _ -> () (* already joining or joined *)
+  | None ->
+      let g =
+        {
+          group;
+          ordering;
+          status = Joining { started = Engine.now t.engine };
+          view = None;
+          epoch = 0;
+          view_seq = seq_floor_of t group;
+          next_seq = 0;
+          next_local = 0;
+          delivered = Node_id.Map.empty;
+          to_delivered = Node_id.Map.empty;
+          to_stamped = Node_id.Map.empty;
+          store = [];
+          stable_floor = Node_id.Map.empty;
+          peer_delivered = Node_id.Map.empty;
+          frozen = [];
+          outbox = [];
+          to_pending = [];
+          joiners = Node_id.Set.empty;
+          leavers = Node_id.Set.empty;
+          foreign = [];
+          last_proposal = Node_id.Set.empty;
+          want_flush = false;
+          leaving_self = false;
+          change = None;
+        }
+      in
+      Hashtbl.replace t.states group g;
+      broadcast t (Hw_join_announce { group; joiner = t.node });
+      start_group_timers t g
+
+let leave t group =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match (g.status, g.view) with
+      | Joining _, _ -> remove_group t g
+      | _, Some view when view.View.members = [ t.node ] -> remove_group t g
+      | _, _ ->
+          g.leaving_self <- true;
+          g.leavers <- Node_id.Set.add t.node g.leavers;
+          evaluate t g)
+
+let stop_ok t group =
+  match lookup t group with
+  | None -> ()
+  | Some g -> (
+      match g.status with
+      | Stopped { acked = false; _ } -> flush_reply t g
+      | Stopped _ | Joining _ | Normal -> ())
+
+let force_flush t group =
+  match lookup t group with
+  | None -> ()
+  | Some g ->
+      g.want_flush <- true;
+      evaluate t g
+
+let view_of t group = match lookup t group with Some g -> g.view | None -> None
+
+let is_member t group =
+  match lookup t group with
+  | Some g -> ( match (g.status, g.view) with (Normal | Stopped _), Some _ -> true | _, _ -> false)
+  | None -> false
+
+let groups t =
+  Hashtbl.fold (fun group g acc -> if g.view <> None then group :: acc else acc) t.states []
+  |> List.sort Gid.compare
+
+let store_size t group = match lookup t group with Some g -> List.length g.store | None -> 0
+
+let am_coordinator t group =
+  match view_of t group with Some view -> View.coordinator view = t.node | None -> false
+
+(* A finalized view change clears want_flush: hook into install. *)
+
+let create ?(config = default_config) ?recorder ~transport ~detector callbacks node =
+  let engine = Transport.engine transport in
+  let endpoint = Transport.endpoint transport node in
+  let t =
+    {
+      node;
+      engine;
+      endpoint;
+      detector;
+      config;
+      callbacks;
+      recorder;
+      transport;
+      states = Hashtbl.create 16;
+      seq_floor = Hashtbl.create 16;
+      gid_counter = 0;
+    }
+  in
+  Transport.on_receive endpoint (fun ~src payload ->
+      match payload with
+      | Hw_join_announce { group; joiner } -> handle_join_announce t ~group ~joiner
+      | Hw_view_announce { group; view_id; members } -> handle_view_announce t ~group ~view_id ~members
+      | Hw_change_req { group; joiners; leavers; foreign; flush } ->
+          handle_change_req t ~group ~joiners ~leavers ~foreign ~flush
+      | Hw_stop { group; epoch; coord; proposal } -> handle_stop t ~src ~group ~epoch ~coord ~proposal
+      | Hw_stop_nack { group; epoch } -> handle_stop_nack t ~group ~epoch
+      | Hw_flushed { group; epoch; from; prev; delivered; store; leaving } ->
+          let info =
+            {
+              fi_prev = prev;
+              fi_delivered = List.fold_left (fun acc (n, c) -> Node_id.Map.add n c acc) Node_id.Map.empty delivered;
+              fi_store = store;
+              fi_leaving = leaving;
+            }
+          in
+          handle_flushed t ~group ~epoch ~from ~info
+      | Hw_install { group; epoch; view; sync; you_left } ->
+          (match lookup t group with
+          | Some g when not you_left -> g.want_flush <- false
+          | Some _ | None -> ());
+          handle_install t ~group ~epoch ~view ~sync ~you_left
+      | Hw_data { group; view_id; msg } -> handle_data t ~group ~view_id ~msg
+      | Hw_to_req { group; view_id; origin; local_id; body } ->
+          handle_to_req t ~group ~view_id ~origin ~local_id ~body
+      | Hw_stable { group; view_id; from; delivered } -> handle_stable t ~group ~view_id ~from ~delivered
+      | _ -> ());
+  Detector.on_change detector (fun _peer _status -> Hashtbl.iter (fun _ g -> evaluate t g) t.states);
+  t

@@ -1,0 +1,106 @@
+(** Identifiers and views for the virtually-synchronous (heavy-weight
+    group) layer. *)
+
+open Plwg_sim
+
+(** Group identifier: [(seq, origin)] pairs issued from a per-node
+    counter.  They are unique across concurrent partitions and totally
+    ordered, which the paper's reconciliation rule — "switch to the HWG
+    with the highest group identifier" (Section 6.2) — depends on. *)
+module Gid = struct
+  type t = { seq : int; origin : Node_id.t }
+
+  let compare a b =
+    let c = Int.compare a.seq b.seq in
+    if c <> 0 then c else Node_id.compare a.origin b.origin
+
+  let equal a b = compare a b = 0
+  let pp ppf t = Format.fprintf ppf "g%d.%a" t.seq Node_id.pp t.origin
+  let to_string t = Format.asprintf "%a" pp t
+
+  module Map = Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  module Set = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end
+
+(** View identifier: [(coordinator, view-sequence-number)] exactly as in
+    the paper (Section 5.1).  The sequence number is drawn from the
+    coordinator's local counter and made larger than every predecessor
+    view's, so ids are unique and grow along any chain of views. *)
+module View_id = struct
+  type t = { coord : Node_id.t; seq : int }
+
+  let compare a b =
+    let c = Int.compare a.seq b.seq in
+    if c <> 0 then c else Node_id.compare a.coord b.coord
+
+  let equal a b = compare a b = 0
+  let pp ppf t = Format.fprintf ppf "v%d@%a" t.seq Node_id.pp t.coord
+  let to_string t = Format.asprintf "%a" pp t
+
+  module Map = Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  module Set = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end
+
+(** An installed view: membership plus lineage.  [preds] lists the view
+    ids the merged members came from — the partial order of views the
+    naming service uses to garbage-collect obsolete mappings. *)
+module View = struct
+  type t = { id : View_id.t; group : Gid.t; members : Node_id.t list; preds : View_id.t list }
+
+  let members_set t = Node_id.Set.of_list t.members
+  let mem node t = List.mem node t.members
+  let size t = List.length t.members
+
+  (** The acting coordinator of an installed view: its smallest member.
+      (The paper says "usually its oldest member"; smallest-id is the
+      deterministic equivalent that survives merges.) *)
+  let coordinator t = match t.members with [] -> invalid_arg "View.coordinator: empty view" | m :: _ -> m
+
+  let make ~id ~group ~members ~preds =
+    let members = List.sort_uniq Node_id.compare members in
+    { id; group; members; preds }
+
+  let pp ppf t =
+    Format.fprintf ppf "%a:%a%a" Gid.pp t.group View_id.pp t.id Node_id.pp_list t.members
+end
+
+(** One application message inside a view.  [sender]/[seq] drive the
+    reliable-FIFO machinery; [origin]/[local_id] identify the message for
+    the application (they differ from sender/seq only in total-order
+    mode, where the coordinator re-multicasts on behalf of the origin).
+    [vc] is the sender's delivery vector at send time — empty except in
+    causal mode, where receivers delay a message until every delivery
+    that causally precedes it has happened. *)
+type app_msg = {
+  sender : Node_id.t;
+  seq : int;
+  origin : Node_id.t;
+  local_id : int;
+  vc : (Node_id.t * int) list;
+  body : Payload.t;
+}
+
+let pp_app_msg ppf m =
+  Format.fprintf ppf "%a/#%d(origin %a/#%d)" Node_id.pp m.sender m.seq Node_id.pp m.origin m.local_id
+
+(** Message ordering discipline of a group: FIFO per sender, causal
+    (vector-clock delayed), or total (coordinator-sequenced). *)
+type ordering = Fifo | Causal | Total

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_detector Test_harness Test_lwg Test_naming Test_policy Test_reconcile Test_recorder Test_sim Test_transport Test_util Test_vsync

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Array Engine List Model Node_id Plwg_detector Plwg_sim Plwg_transport Printf Time

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List Plwg_harness String

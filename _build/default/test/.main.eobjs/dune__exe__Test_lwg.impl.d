@@ -1,0 +1,1 @@
+test/test_lwg.ml: Alcotest Array Engine Gid List Model Node_id Payload Plwg Plwg_harness Plwg_sim Plwg_util Plwg_vsync Printf QCheck QCheck_alcotest String Time View View_id

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Array Engine Gen Gid List Model Option Plwg_detector Plwg_naming Plwg_sim Plwg_transport Plwg_vsync Printf QCheck QCheck_alcotest Time View_id

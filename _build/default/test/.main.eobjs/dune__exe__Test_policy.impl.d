@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Gid List Node_id Plwg Plwg_sim Plwg_vsync QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reconcile.ml: Alcotest Array Engine Gid List Node_id Option Payload Plwg Plwg_harness Plwg_naming Plwg_sim Plwg_vsync Printf Time View

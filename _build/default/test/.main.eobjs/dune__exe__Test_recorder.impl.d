@@ -1,0 +1,1 @@
+test/test_recorder.ml: Alcotest Gid List Plwg_sim Plwg_vsync Time View View_id

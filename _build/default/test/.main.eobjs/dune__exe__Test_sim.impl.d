@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Fault List Model Payload Plwg_sim Time Topology

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Engine List Model Payload Plwg_sim Plwg_transport QCheck QCheck_alcotest Time

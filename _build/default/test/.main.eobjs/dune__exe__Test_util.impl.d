@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Heap Int List Plwg_util Printf QCheck QCheck_alcotest Rng

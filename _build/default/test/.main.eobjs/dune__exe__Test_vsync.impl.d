@@ -1,0 +1,1 @@
+test/test_vsync.ml: Alcotest Array Engine Gid List Model Node_id Option Payload Plwg_harness Plwg_sim Plwg_util Plwg_vsync Printf QCheck QCheck_alcotest Time View View_id

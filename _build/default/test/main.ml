@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "plwg"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("transport", Test_transport.suite);
+      ("detector", Test_detector.suite);
+      ("vsync", Test_vsync.suite);
+      ("recorder", Test_recorder.suite);
+      ("naming", Test_naming.suite);
+      ("policy", Test_policy.suite);
+      ("lwg", Test_lwg.suite);
+      ("reconcile", Test_reconcile.suite);
+      ("harness", Test_harness.suite);
+    ]

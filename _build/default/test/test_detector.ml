@@ -1,0 +1,99 @@
+(* Tests for the heartbeat failure detector: discovery, suspicion on
+   crash and partition, peer re-discovery on heal. *)
+
+open Plwg_sim
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+
+let setup ?(n = 4) ?(seed = 5) () =
+  let engine = Engine.create ~model:Model.lossless ~seed ~n_nodes:n () in
+  let transport = Transport.create engine in
+  let detectors = List.init n (fun node -> Detector.create transport node) in
+  (engine, Array.of_list detectors)
+
+let warmup = Time.ms 500
+
+let test_initial_discovery () =
+  let engine, detectors = setup () in
+  Engine.run engine ~until:warmup;
+  Array.iteri
+    (fun i detector ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d sees everyone" i)
+        4
+        (Node_id.Set.cardinal (Detector.reachable_set detector)))
+    detectors
+
+let test_self_always_reachable () =
+  let _, detectors = setup () in
+  Alcotest.(check bool) "self" true (Detector.status detectors.(0) 0 = Detector.Reachable)
+
+let test_crash_detected () =
+  let engine, detectors = setup () in
+  Engine.run engine ~until:warmup;
+  Engine.crash engine 3;
+  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Alcotest.(check bool) "3 suspected at 0" true (Detector.status detectors.(0) 3 = Detector.Unreachable);
+  Alcotest.(check bool) "3 suspected at 1" true (Detector.status detectors.(1) 3 = Detector.Unreachable);
+  Alcotest.(check bool) "others still fine" true (Detector.status detectors.(0) 1 = Detector.Reachable)
+
+let test_partition_detected_both_sides () =
+  let engine, detectors = setup () in
+  Engine.run engine ~until:warmup;
+  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Alcotest.(check bool) "0 cannot see 2" true (Detector.status detectors.(0) 2 = Detector.Unreachable);
+  Alcotest.(check bool) "2 cannot see 0" true (Detector.status detectors.(2) 0 = Detector.Unreachable);
+  Alcotest.(check bool) "0 still sees 1" true (Detector.status detectors.(0) 1 = Detector.Reachable);
+  Alcotest.(check bool) "2 still sees 3" true (Detector.status detectors.(2) 3 = Detector.Reachable)
+
+let test_heal_rediscovery () =
+  let engine, detectors = setup () in
+  Engine.run engine ~until:warmup;
+  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Engine.heal engine;
+  Engine.run engine ~until:(Time.add warmup (Time.sec 2));
+  Alcotest.(check bool) "0 rediscovers 2" true (Detector.status detectors.(0) 2 = Detector.Reachable);
+  Alcotest.(check bool) "3 rediscovers 1" true (Detector.status detectors.(3) 1 = Detector.Reachable)
+
+let test_change_events () =
+  let engine, detectors = setup () in
+  let events = ref [] in
+  Detector.on_change detectors.(0) (fun peer status -> events := (peer, status) :: !events);
+  Engine.run engine ~until:warmup;
+  Engine.crash engine 2;
+  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  let ups = List.filter (fun (_, s) -> s = Detector.Reachable) !events in
+  let downs = List.filter (fun (_, s) -> s = Detector.Unreachable) !events in
+  Alcotest.(check int) "three discoveries" 3 (List.length ups);
+  Alcotest.(check (list int)) "one suspicion, node 2" [ 2 ] (List.map fst downs)
+
+let test_no_flapping_when_stable () =
+  let engine, detectors = setup () in
+  let transitions = ref 0 in
+  Detector.on_change detectors.(1) (fun _ _ -> incr transitions);
+  Engine.run engine ~until:(Time.sec 5);
+  Alcotest.(check int) "exactly the 3 initial discoveries" 3 !transitions
+
+let test_recover_rediscovered () =
+  let engine, detectors = setup () in
+  Engine.run engine ~until:warmup;
+  Engine.crash engine 1;
+  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Alcotest.(check bool) "down" true (Detector.status detectors.(0) 1 = Detector.Unreachable);
+  Engine.recover engine 1;
+  Engine.run engine ~until:(Time.add warmup (Time.sec 2));
+  Alcotest.(check bool) "up again" true (Detector.status detectors.(0) 1 = Detector.Reachable)
+
+let suite =
+  [
+    Alcotest.test_case "initial discovery" `Quick test_initial_discovery;
+    Alcotest.test_case "self reachable" `Quick test_self_always_reachable;
+    Alcotest.test_case "crash detected" `Quick test_crash_detected;
+    Alcotest.test_case "partition detected both sides" `Quick test_partition_detected_both_sides;
+    Alcotest.test_case "heal rediscovery" `Quick test_heal_rediscovery;
+    Alcotest.test_case "change events" `Quick test_change_events;
+    Alcotest.test_case "no flapping when stable" `Quick test_no_flapping_when_stable;
+    Alcotest.test_case "recover rediscovered" `Quick test_recover_rediscovered;
+  ]

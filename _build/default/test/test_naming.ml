@@ -1,0 +1,303 @@
+(* Tests for the partitionable naming service: database semantics
+   (lineage GC, conflicts, merge), replica gossip, client retry, and the
+   MULTIPLE-MAPPINGS callback across a partition/heal cycle. *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+module Db = Plwg_naming.Db
+module Server = Plwg_naming.Server
+module Client = Plwg_naming.Client
+module Transport = Plwg_transport.Transport
+module Detector = Plwg_detector.Detector
+
+let gid seq origin = { Gid.seq; origin }
+let vid coord seq = { View_id.coord; seq }
+
+let entry ?(members = [ 0; 1 ]) ?(preds = []) ?hwg_view ~lwg ~lwg_view ~hwg () =
+  { Db.lwg; lwg_view; members; hwg; hwg_view; preds }
+
+let lwg_a = gid 1 0
+let lwg_b = gid 2 0
+let hwg_1 = gid 10 0
+let hwg_2 = gid 11 0
+
+(* ---------------- Db unit tests ---------------- *)
+
+let test_db_set_read () =
+  let db = Db.create () in
+  let e = entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 () in
+  Db.set db e;
+  Alcotest.(check int) "one entry" 1 (List.length (Db.read db lwg_a));
+  Alcotest.(check int) "other lwg empty" 0 (List.length (Db.read db lwg_b))
+
+let test_db_set_replaces_same_view () =
+  let db = Db.create () in
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_2 ());
+  match Db.read db lwg_a with
+  | [ e ] -> Alcotest.(check bool) "remapped" true (Gid.equal e.Db.hwg hwg_2)
+  | other -> Alcotest.failf "expected 1 entry, got %d" (List.length other)
+
+let test_db_lineage_gc () =
+  let db = Db.create () in
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 5 1) ~hwg:hwg_2 ());
+  Alcotest.(check int) "two concurrent views" 2 (List.length (Db.read db lwg_a));
+  (* the merged view supersedes both *)
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_2 ~preds:[ vid 0 1; vid 5 1 ] ());
+  (match Db.read db lwg_a with
+  | [ e ] -> Alcotest.(check bool) "merged view survives" true (View_id.equal e.Db.lwg_view (vid 0 2))
+  | other -> Alcotest.failf "expected 1 entry, got %d" (List.length other));
+  Alcotest.(check bool) "old view superseded" true (Db.is_superseded db ~lwg:lwg_a (vid 0 1))
+
+let test_db_superseded_never_revives () =
+  let db = Db.create () in
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_2 ~preds:[ vid 0 1 ] ());
+  (* a stale set of the predecessor must be ignored *)
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Alcotest.(check int) "stale entry rejected" 1 (List.length (Db.read db lwg_a))
+
+let test_db_testset () =
+  let db = Db.create () in
+  let first = entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 () in
+  (match Db.test_and_set db first with
+  | [ e ] -> Alcotest.(check bool) "installed" true (Gid.equal e.Db.hwg hwg_1)
+  | _ -> Alcotest.fail "expected the inserted entry");
+  (* second testset returns the existing mapping unchanged *)
+  (match Db.test_and_set db (entry ~lwg:lwg_a ~lwg_view:(vid 9 9) ~hwg:hwg_2 ()) with
+  | [ e ] -> Alcotest.(check bool) "kept first mapping" true (Gid.equal e.Db.hwg hwg_1)
+  | _ -> Alcotest.fail "expected one existing entry");
+  Alcotest.(check int) "no second entry" 1 (List.length (Db.read db lwg_a))
+
+let test_db_conflicts () =
+  let db = Db.create () in
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Alcotest.(check bool) "single mapping fine" false (Db.conflicting db lwg_a);
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 5 1) ~hwg:hwg_2 ());
+  Alcotest.(check bool) "two hwgs conflict" true (Db.conflicting db lwg_a);
+  Alcotest.(check (list string)) "conflict list" [ Gid.to_string lwg_a ]
+    (List.map Gid.to_string (Db.conflicts db));
+  (* concurrent views on the SAME hwg are not a naming conflict *)
+  let db2 = Db.create () in
+  Db.set db2 (entry ~lwg:lwg_b ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Db.set db2 (entry ~lwg:lwg_b ~lwg_view:(vid 5 1) ~hwg:hwg_1 ());
+  Alcotest.(check bool) "same hwg, no conflict" false (Db.conflicting db2 lwg_b)
+
+let test_db_merge_union_and_gc () =
+  let a = Db.create () and b = Db.create () in
+  Db.set a (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  Db.set b (entry ~lwg:lwg_b ~lwg_view:(vid 5 1) ~hwg:hwg_2 ());
+  Alcotest.(check bool) "merge changes" true (Db.merge a b);
+  Alcotest.(check int) "union" 2 (List.length (Db.lwgs a));
+  Alcotest.(check bool) "idempotent" false (Db.merge a b);
+  (* b learns that lwg_a's view was superseded; merging must kill it in a *)
+  Db.set b (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_1 ~preds:[ vid 0 1 ] ());
+  Alcotest.(check bool) "merge applies gc" true (Db.merge a b);
+  (match Db.read a lwg_a with
+  | [ e ] -> Alcotest.(check bool) "only successor live" true (View_id.equal e.Db.lwg_view (vid 0 2))
+  | other -> Alcotest.failf "expected 1, got %d" (List.length other))
+
+let test_db_paper_table3 () =
+  (* the exact scenario of Figure 3 / Table 3 *)
+  let p = Db.create () and p' = Db.create () in
+  Db.set p (entry ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_1 ());
+  Db.set p (entry ~lwg:lwg_b ~lwg_view:(vid 2 1) ~hwg:hwg_2 ());
+  Db.set p' (entry ~lwg:lwg_a ~lwg_view:(vid 4 1) ~hwg:hwg_2 ());
+  Db.set p' (entry ~lwg:lwg_b ~lwg_view:(vid 5 1) ~hwg:hwg_1 ());
+  ignore (Db.merge p p');
+  (* merged database stores both mappings for each group *)
+  Alcotest.(check int) "lwg_a has two mappings" 2 (List.length (Db.read p lwg_a));
+  Alcotest.(check int) "lwg_b has two mappings" 2 (List.length (Db.read p lwg_b));
+  Alcotest.(check bool) "lwg_a inconsistent" true (Db.conflicting p lwg_a);
+  Alcotest.(check bool) "lwg_b inconsistent" true (Db.conflicting p lwg_b)
+
+let test_db_snapshot_isolated () =
+  let db = Db.create () in
+  Db.set db (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ());
+  let snap = Db.snapshot db in
+  Db.set db (entry ~lwg:lwg_b ~lwg_view:(vid 0 1) ~hwg:hwg_2 ());
+  Alcotest.(check int) "snapshot unchanged" 1 (List.length (Db.lwgs snap));
+  Alcotest.(check int) "db changed" 2 (List.length (Db.lwgs db))
+
+(* Merge is commutative and convergent on the live sets. *)
+let prop_db_merge_commutes =
+  let arbitrary_entry =
+    QCheck.Gen.(
+      let* lwg_seq = int_range 1 3 in
+      let* view_coord = int_range 0 3 in
+      let* view_seq = int_range 1 5 in
+      let* hwg_seq = int_range 10 12 in
+      let* n_preds = int_range 0 2 in
+      let* preds = list_size (return n_preds) (pair (int_range 0 3) (int_range 1 5)) in
+      return
+        (entry ~lwg:(gid lwg_seq 0) ~lwg_view:(vid view_coord view_seq) ~hwg:(gid hwg_seq 0)
+           ~preds:(List.map (fun (c, s) -> vid c s) preds) ()))
+  in
+  QCheck.Test.make ~name:"naming db: merge order does not matter" ~count:200
+    QCheck.(pair (make Gen.(list_size (int_range 0 8) arbitrary_entry))
+              (make Gen.(list_size (int_range 0 8) arbitrary_entry)))
+    (fun (es1, es2) ->
+      let build es =
+        let db = Db.create () in
+        List.iter (Db.set db) es;
+        db
+      in
+      let ab = build es1 in
+      ignore (Db.merge ab (build es2));
+      let ba = build es2 in
+      ignore (Db.merge ba (build es1));
+      let dump db = List.map (fun lwg -> (lwg, List.map (fun e -> (e.Db.lwg_view, e.Db.hwg)) (Db.read db lwg))) (Db.lwgs db) in
+      dump ab = dump ba)
+
+(* ---------------- server/client integration ---------------- *)
+
+type fixture = {
+  engine : Engine.t;
+  servers : Server.t array;
+  clients : Client.t array;
+}
+
+(* nodes 0..n_clients-1 are clients; the last two nodes are replicas *)
+let setup ?(seed = 8) ~n_clients () =
+  let n = n_clients + 2 in
+  let engine = Engine.create ~model:Model.default ~seed ~n_nodes:n () in
+  let transport = Transport.create engine in
+  let detectors = Array.init n (fun node -> Detector.create transport node) in
+  let server_nodes = [ n_clients; n_clients + 1 ] in
+  let servers =
+    Array.of_list
+      (List.map
+         (fun node ->
+           Server.create ~transport ~detector:detectors.(node)
+             ~peers:(List.filter (fun p -> p <> node) server_nodes)
+             node)
+         server_nodes)
+  in
+  let clients =
+    Array.init n_clients (fun node ->
+        Client.create ~transport ~detector:detectors.(node) ~servers:server_nodes node)
+  in
+  { engine; servers; clients }
+
+let test_client_set_read () =
+  let f = setup ~n_clients:2 () in
+  Engine.run f.engine ~until:(Time.ms 500);
+  let done_set = ref false and got = ref None in
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> done_set := true);
+  Engine.run f.engine ~until:(Time.sec 2);
+  Alcotest.(check bool) "set acked" true !done_set;
+  (* after a gossip round, reads against EITHER replica see the mapping *)
+  Client.read f.clients.(1) lwg_a ~k:(fun entries -> got := Some entries);
+  Engine.run f.engine ~until:(Time.sec 4);
+  (match !got with
+  | Some [ e ] -> Alcotest.(check bool) "mapping visible" true (Gid.equal e.Db.hwg hwg_1)
+  | Some other -> Alcotest.failf "expected 1 entry, got %d" (List.length other)
+  | None -> Alcotest.fail "no reply");
+  Array.iter
+    (fun server -> Alcotest.(check int) "replicated" 1 (List.length (Db.read (Server.db server) lwg_a)))
+    f.servers
+
+let test_client_read_unknown () =
+  let f = setup ~n_clients:1 () in
+  Engine.run f.engine ~until:(Time.ms 500);
+  let got = ref None in
+  Client.read f.clients.(0) lwg_b ~k:(fun entries -> got := Some entries);
+  Engine.run f.engine ~until:(Time.sec 2);
+  Alcotest.(check (option (list unit))) "empty" (Some []) (Option.map (List.map ignore) !got)
+
+let test_client_testset_race () =
+  let f = setup ~n_clients:2 () in
+  Engine.run f.engine ~until:(Time.sec 2);
+  (* both clients race a testset; replicas have gossiped, so whoever is
+     second sees the first mapping *)
+  let r0 = ref None and r1 = ref None in
+  Client.test_and_set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun e -> r0 := Some e);
+  Engine.run_span f.engine (Time.sec 2);
+  Client.test_and_set f.clients.(1) (entry ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun e -> r1 := Some e);
+  Engine.run_span f.engine (Time.sec 2);
+  (match (!r0, !r1) with
+  | Some [ e0 ], Some [ e1 ] ->
+      Alcotest.(check bool) "first installed" true (Gid.equal e0.Db.hwg hwg_1);
+      Alcotest.(check bool) "second redirected" true (Gid.equal e1.Db.hwg hwg_1)
+  | _ -> Alcotest.fail "missing replies")
+
+let test_client_survives_server_crash () =
+  let f = setup ~n_clients:1 () in
+  Engine.run f.engine ~until:(Time.sec 1);
+  (* kill the first replica; the client must fail over to the second *)
+  Engine.crash f.engine (Server.node f.servers.(0));
+  Engine.run f.engine ~until:(Time.sec 2);
+  let acked = ref false in
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> acked := true);
+  Engine.run f.engine ~until:(Time.sec 6);
+  Alcotest.(check bool) "failover ack" true !acked;
+  Alcotest.(check int) "stored at survivor" 1 (List.length (Db.read (Server.db f.servers.(1)) lwg_a))
+
+let test_multiple_mappings_callback_on_heal () =
+  (* Partition the replicas; each side maps the same LWG to a different
+     HWG; healing must reconcile the databases and fire the callback at
+     the members. *)
+  let f = setup ~n_clients:2 () in
+  let server0 = Server.node f.servers.(0) and server1 = Server.node f.servers.(1) in
+  let notified = ref [] in
+  Array.iteri
+    (fun i client ->
+      Client.on_multiple_mappings client (fun lwg entries -> notified := (i, lwg, List.length entries) :: !notified))
+    f.clients;
+  Engine.run f.engine ~until:(Time.sec 1);
+  Engine.set_partition f.engine [ [ 0; server0 ]; [ 1; server1 ] ];
+  Engine.run f.engine ~until:(Time.sec 1);
+  Client.set f.clients.(0) (entry ~members:[ 0 ] ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> ());
+  Client.set f.clients.(1) (entry ~members:[ 1 ] ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun () -> ());
+  Engine.run f.engine ~until:(Time.sec 3);
+  Alcotest.(check (list unit)) "no callback during partition" [] (List.map ignore !notified);
+  Engine.heal f.engine;
+  Engine.run f.engine ~until:(Time.sec 5);
+  let got_0 = List.exists (fun (i, lwg, n) -> i = 0 && Gid.equal lwg lwg_a && n = 2) !notified in
+  let got_1 = List.exists (fun (i, lwg, n) -> i = 1 && Gid.equal lwg lwg_a && n = 2) !notified in
+  Alcotest.(check bool) "member 0 notified" true got_0;
+  Alcotest.(check bool) "member 1 notified" true got_1;
+  Array.iter
+    (fun server -> Alcotest.(check bool) "replica sees conflict" true (Db.conflicting (Server.db server) lwg_a))
+    f.servers
+
+let test_gc_propagates_to_replicas () =
+  let f = setup ~n_clients:2 () in
+  Engine.run f.engine ~until:(Time.sec 1);
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> ());
+  Engine.run f.engine ~until:(Time.sec 2);
+  (* the merged view supersedes the old one *)
+  Client.set f.clients.(1)
+    (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_1 ~preds:[ vid 0 1 ] ())
+    ~k:(fun () -> ());
+  Engine.run f.engine ~until:(Time.sec 3);
+  Array.iter
+    (fun server ->
+      match Db.read (Server.db server) lwg_a with
+      | [ e ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "replica %d gc'd" (Server.node server))
+            true
+            (View_id.equal e.Db.lwg_view (vid 0 2))
+      | other -> Alcotest.failf "expected 1 live entry, got %d" (List.length other))
+    f.servers
+
+let suite =
+  [
+    Alcotest.test_case "db set/read" `Quick test_db_set_read;
+    Alcotest.test_case "db set replaces same view" `Quick test_db_set_replaces_same_view;
+    Alcotest.test_case "db lineage gc" `Quick test_db_lineage_gc;
+    Alcotest.test_case "db superseded never revives" `Quick test_db_superseded_never_revives;
+    Alcotest.test_case "db testset" `Quick test_db_testset;
+    Alcotest.test_case "db conflicts" `Quick test_db_conflicts;
+    Alcotest.test_case "db merge union+gc" `Quick test_db_merge_union_and_gc;
+    Alcotest.test_case "db paper table 3" `Quick test_db_paper_table3;
+    Alcotest.test_case "db snapshot isolated" `Quick test_db_snapshot_isolated;
+    QCheck_alcotest.to_alcotest prop_db_merge_commutes;
+    Alcotest.test_case "client set/read" `Quick test_client_set_read;
+    Alcotest.test_case "client read unknown" `Quick test_client_read_unknown;
+    Alcotest.test_case "client testset race" `Quick test_client_testset_race;
+    Alcotest.test_case "client survives server crash" `Quick test_client_survives_server_crash;
+    Alcotest.test_case "multiple-mappings callback on heal" `Quick test_multiple_mappings_callback_on_heal;
+    Alcotest.test_case "gc propagates to replicas" `Quick test_gc_propagates_to_replicas;
+  ]

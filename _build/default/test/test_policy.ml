@@ -1,0 +1,174 @@
+(* Unit and property tests for the Figure 1 mapping policies. *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+module Policy = Plwg.Policy
+
+let params = Policy.default_params
+let set = Node_id.set_of_list
+let gid seq = { Gid.seq; origin = 0 }
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+let test_minority () =
+  (* k_m = 4: minority iff |inner| <= |outer| / 4 *)
+  Alcotest.(check bool) "1 of 4" true (Policy.is_minority params ~inner:(set [ 0 ]) ~outer:(set (range 0 3)));
+  Alcotest.(check bool) "2 of 8" true (Policy.is_minority params ~inner:(set [ 0; 1 ]) ~outer:(set (range 0 7)));
+  Alcotest.(check bool) "3 of 8" false (Policy.is_minority params ~inner:(set [ 0; 1; 2 ]) ~outer:(set (range 0 7)));
+  Alcotest.(check bool) "4 of 4" false (Policy.is_minority params ~inner:(set (range 0 3)) ~outer:(set (range 0 3)));
+  Alcotest.(check bool) "not a subset" false (Policy.is_minority params ~inner:(set [ 9 ]) ~outer:(set (range 0 7)))
+
+let test_close_enough () =
+  (* k_c = 4: close iff |outer| - |inner| <= |outer| / 4 *)
+  Alcotest.(check bool) "4 of 4" true (Policy.close_enough params ~inner:(set (range 0 3)) ~outer:(set (range 0 3)));
+  Alcotest.(check bool) "5 of 8" false (Policy.close_enough params ~inner:(set (range 0 4)) ~outer:(set (range 0 7)));
+  Alcotest.(check bool) "6 of 8" true (Policy.close_enough params ~inner:(set (range 0 5)) ~outer:(set (range 0 7)));
+  Alcotest.(check bool) "7 of 8" true (Policy.close_enough params ~inner:(set (range 0 6)) ~outer:(set (range 0 7)));
+  Alcotest.(check bool) "not a subset" false (Policy.close_enough params ~inner:(set [ 9 ]) ~outer:(set (range 0 7)))
+
+let test_share_identical_membership_collapses () =
+  let members = set (range 0 3) in
+  (match Policy.share_decision params (gid 1, members) (gid 2, members) with
+  | `Collapse_into winner -> Alcotest.(check bool) "into larger gid" true (Gid.equal winner (gid 2))
+  | `Keep -> Alcotest.fail "identical hwgs must collapse");
+  (* symmetric in argument order *)
+  match Policy.share_decision params (gid 2, members) (gid 1, members) with
+  | `Collapse_into winner -> Alcotest.(check bool) "same winner" true (Gid.equal winner (gid 2))
+  | `Keep -> Alcotest.fail "identical hwgs must collapse"
+
+let test_share_disjoint_keeps () =
+  match Policy.share_decision params (gid 1, set (range 0 3)) (gid 2, set (range 4 7)) with
+  | `Keep -> ()
+  | `Collapse_into _ -> Alcotest.fail "disjoint hwgs must not collapse"
+
+let test_share_nested_minority_keeps () =
+  (* {0} inside {0..7}: nested minority; collapsing would maximise
+     interference, the rule forbids it *)
+  match Policy.share_decision params (gid 1, set [ 0 ]) (gid 2, set (range 0 7)) with
+  | `Keep -> ()
+  | `Collapse_into _ -> Alcotest.fail "nested minority must keep"
+
+let test_share_nested_majority_collapses () =
+  (* {0..5} inside {0..7}: nested but NOT minority -> collapse *)
+  match Policy.share_decision params (gid 1, set (range 0 5)) (gid 2, set (range 0 7)) with
+  | `Collapse_into _ -> ()
+  | `Keep -> Alcotest.fail "nested majority should collapse"
+
+let test_share_overlap_threshold () =
+  (* n1 = n2 = 2, k must exceed sqrt(2*2*2) ~ 2.83, so k = 3 collapses
+     and k = 2 keeps *)
+  let h1_k3 = set [ 0; 1; 2; 10; 11 ] and h2_k3 = set [ 0; 1; 2; 20; 21 ] in
+  (match Policy.share_decision params (gid 1, h1_k3) (gid 2, h2_k3) with
+  | `Collapse_into _ -> ()
+  | `Keep -> Alcotest.fail "k=3 > sqrt(8) should collapse");
+  let h1_k2 = set [ 0; 1; 10; 11 ] and h2_k2 = set [ 0; 1; 20; 21 ] in
+  match Policy.share_decision params (gid 1, h1_k2) (gid 2, h2_k2) with
+  | `Keep -> ()
+  | `Collapse_into _ -> Alcotest.fail "k=2 < sqrt(8) should keep"
+
+let test_interference_majority_stays () =
+  match
+    Policy.interference_decision params ~lwg_members:(set (range 0 3)) ~hwg:(gid 1, set (range 0 7)) ~candidates:[]
+  with
+  | `Stay -> ()
+  | `Switch_to _ | `Create_new -> Alcotest.fail "50% lwg is not a minority"
+
+let test_interference_minority_creates () =
+  match
+    Policy.interference_decision params ~lwg_members:(set [ 0 ]) ~hwg:(gid 1, set (range 0 7)) ~candidates:[]
+  with
+  | `Create_new -> ()
+  | `Stay | `Switch_to _ -> Alcotest.fail "minority without candidates must create"
+
+let test_interference_minority_switches_to_close () =
+  let candidates = [ (gid 5, set [ 0 ]); (gid 6, set (range 0 7)) ] in
+  match
+    Policy.interference_decision params ~lwg_members:(set [ 0 ]) ~hwg:(gid 1, set (range 0 7)) ~candidates
+  with
+  | `Switch_to target -> Alcotest.(check bool) "picks the close candidate" true (Gid.equal target (gid 5))
+  | `Stay | `Create_new -> Alcotest.fail "should switch to the close hwg"
+
+let test_interference_prefers_highest_gid () =
+  let candidates = [ (gid 5, set [ 0 ]); (gid 9, set [ 0 ]); (gid 7, set [ 0 ]) ] in
+  match
+    Policy.interference_decision params ~lwg_members:(set [ 0 ]) ~hwg:(gid 1, set (range 0 7)) ~candidates
+  with
+  | `Switch_to target -> Alcotest.(check bool) "deterministic max gid" true (Gid.equal target (gid 9))
+  | `Stay | `Create_new -> Alcotest.fail "should switch"
+
+let test_hysteresis_window () =
+  (* Section 3.2: mapped at >75% overlap, stable until it drops to 25%.
+     With |hwg| = 8: a 6-member lwg stays (75%), a 2-member one leaves. *)
+  let hwg = (gid 1, set (range 0 7)) in
+  (match Policy.interference_decision params ~lwg_members:(set (range 0 5)) ~hwg ~candidates:[] with
+  | `Stay -> ()
+  | _ -> Alcotest.fail "6 of 8 must stay");
+  match Policy.interference_decision params ~lwg_members:(set (range 0 1)) ~hwg ~candidates:[] with
+  | `Create_new -> ()
+  | _ -> Alcotest.fail "2 of 8 must leave"
+
+(* properties *)
+
+let gen_members = QCheck.Gen.(map (fun l -> set l) (list_size (int_range 1 10) (int_range 0 15)))
+
+let prop_share_symmetric =
+  QCheck.Test.make ~name:"share rule is symmetric" ~count:300
+    QCheck.(pair (make gen_members) (make gen_members))
+    (fun (m1, m2) ->
+      let d1 = Policy.share_decision params (gid 1, m1) (gid 2, m2) in
+      let d2 = Policy.share_decision params (gid 2, m2) (gid 1, m1) in
+      match (d1, d2) with
+      | `Keep, `Keep -> true
+      | `Collapse_into a, `Collapse_into b -> Gid.equal a b
+      | _ -> false)
+
+let prop_collapse_winner_is_larger_gid =
+  QCheck.Test.make ~name:"collapse always picks the larger gid" ~count:300
+    QCheck.(pair (make gen_members) (make gen_members))
+    (fun (m1, m2) ->
+      match Policy.share_decision params (gid 3, m1) (gid 8, m2) with
+      | `Collapse_into winner -> Gid.equal winner (gid 8)
+      | `Keep -> true)
+
+let prop_interference_deterministic =
+  QCheck.Test.make ~name:"interference decision is deterministic" ~count:200
+    QCheck.(pair (make gen_members) (make gen_members))
+    (fun (lwg_members, hwg_members) ->
+      let hwg_members = Node_id.Set.union lwg_members hwg_members in
+      let candidates = [ (gid 4, hwg_members); (gid 5, lwg_members) ] in
+      let once () =
+        Policy.interference_decision params ~lwg_members ~hwg:(gid 1, hwg_members) ~candidates
+      in
+      once () = once ())
+
+let prop_minority_monotone =
+  QCheck.Test.make ~name:"growing the lwg never flips stay->leave" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1 16) (int_range 1 16)))
+    (fun (small, large) ->
+      let small = min small large in
+      let outer = set (range 0 (large - 1)) in
+      let inner_small = set (range 0 (small - 1)) in
+      let inner_large = set (range 0 (min large (small + 1) - 1)) in
+      (* if the smaller inner is NOT a minority, the larger is not either *)
+      QCheck.(
+        (not (Policy.is_minority params ~inner:inner_small ~outer))
+        ==> not (Policy.is_minority params ~inner:inner_large ~outer)))
+
+let suite =
+  [
+    Alcotest.test_case "minority threshold" `Quick test_minority;
+    Alcotest.test_case "closeness threshold" `Quick test_close_enough;
+    Alcotest.test_case "share: identical collapses" `Quick test_share_identical_membership_collapses;
+    Alcotest.test_case "share: disjoint keeps" `Quick test_share_disjoint_keeps;
+    Alcotest.test_case "share: nested minority keeps" `Quick test_share_nested_minority_keeps;
+    Alcotest.test_case "share: nested majority collapses" `Quick test_share_nested_majority_collapses;
+    Alcotest.test_case "share: overlap threshold" `Quick test_share_overlap_threshold;
+    Alcotest.test_case "interference: majority stays" `Quick test_interference_majority_stays;
+    Alcotest.test_case "interference: minority creates" `Quick test_interference_minority_creates;
+    Alcotest.test_case "interference: switches to close" `Quick test_interference_minority_switches_to_close;
+    Alcotest.test_case "interference: highest gid wins" `Quick test_interference_prefers_highest_gid;
+    Alcotest.test_case "hysteresis window" `Quick test_hysteresis_window;
+    QCheck_alcotest.to_alcotest prop_share_symmetric;
+    QCheck_alcotest.to_alcotest prop_collapse_winner_is_larger_gid;
+    QCheck_alcotest.to_alcotest prop_interference_deterministic;
+    QCheck_alcotest.to_alcotest prop_minority_monotone;
+  ]

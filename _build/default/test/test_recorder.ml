@@ -1,0 +1,159 @@
+(* Self-tests for the virtual-synchrony invariant checkers: feed
+   synthetic traces with known defects and assert each checker flags
+   them (a checker that never fires proves nothing). *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+module Hwg = Plwg_vsync.Hwg
+module Recorder = Plwg_vsync.Recorder
+
+let group = { Gid.seq = 1; origin = 0 }
+let vid coord seq = { View_id.coord; seq }
+
+let view ?(preds = []) ~coord ~seq members = View.make ~id:(vid coord seq) ~group ~members ~preds
+
+let installed node v = Hwg.Installed { node; view = v }
+
+let delivered node view_id origin local_id = Hwg.Delivered { node; group; view_id; origin; local_id }
+
+let record events =
+  let recorder = Recorder.create () in
+  List.iteri (fun i event -> Recorder.hook recorder (Time.ms i) event) events;
+  recorder
+
+let test_clean_trace_passes () =
+  let v1 = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let v2 = view ~preds:[ v1.View.id ] ~coord:0 ~seq:2 [ 0; 1; 2 ] in
+  let trace =
+    [
+      installed 0 v1;
+      installed 1 v1;
+      delivered 0 v1.View.id 1 0;
+      delivered 1 v1.View.id 1 0;
+      installed 0 v2;
+      installed 1 v2;
+      installed 2 v2;
+    ]
+  in
+  Alcotest.(check (list string)) "clean" [] (Recorder.check_all (record trace))
+
+let test_detects_self_exclusion () =
+  let v = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let violations = Recorder.check_self_inclusion (record [ installed 5 v ]) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_view_disagreement () =
+  let va = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let vb = view ~coord:0 ~seq:1 [ 0; 1; 2 ] (* same id, different members *) in
+  let violations = Recorder.check_view_agreement (record [ installed 0 va; installed 1 vb ]) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_non_monotone_installs () =
+  let v2 = view ~coord:0 ~seq:2 [ 0 ] in
+  let v1 = view ~coord:0 ~seq:1 [ 0 ] in
+  let violations = Recorder.check_local_monotonicity (record [ installed 0 v2; installed 0 v1 ]) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_duplicate_install () =
+  let v = view ~coord:0 ~seq:1 [ 0 ] in
+  let violations = Recorder.check_view_id_unique_per_change (record [ installed 0 v; installed 0 v ]) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_duplicate_delivery () =
+  let v = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let trace = [ installed 0 v; delivered 0 v.View.id 1 0; delivered 0 v.View.id 1 0 ] in
+  let violations = Recorder.check_no_duplicate_delivery (record trace) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_fifo_violation () =
+  let v = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let trace = [ installed 0 v; delivered 0 v.View.id 1 5; delivered 0 v.View.id 1 3 ] in
+  let violations = Recorder.check_fifo (record trace) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_detects_vs_violation () =
+  (* nodes 0 and 1 both go v1 -> v2, but node 1 delivers an extra
+     message in v1: the defining virtual-synchrony violation *)
+  let v1 = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let v2 = view ~preds:[ v1.View.id ] ~coord:0 ~seq:2 [ 0; 1 ] in
+  let trace =
+    [
+      installed 0 v1;
+      installed 1 v1;
+      delivered 0 v1.View.id 1 0;
+      delivered 1 v1.View.id 1 0;
+      delivered 1 v1.View.id 1 1;
+      installed 0 v2;
+      installed 1 v2;
+    ]
+  in
+  let violations = Recorder.check_virtual_synchrony (record trace) in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_vs_allows_divergent_successors () =
+  (* partitionable VS: nodes that install DIFFERENT successor views may
+     deliver different sets — must NOT be flagged *)
+  let v1 = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let v2a = view ~preds:[ v1.View.id ] ~coord:0 ~seq:2 [ 0 ] in
+  let v2b = view ~preds:[ v1.View.id ] ~coord:1 ~seq:2 [ 1 ] in
+  let trace =
+    [
+      installed 0 v1;
+      installed 1 v1;
+      delivered 0 v1.View.id 1 0;
+      (* node 1 delivered nothing before its own successor *)
+      installed 0 v2a;
+      installed 1 v2b;
+    ]
+  in
+  Alcotest.(check (list string)) "no false positive" [] (Recorder.check_virtual_synchrony (record trace))
+
+let test_detects_total_order_violation () =
+  let v = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let trace =
+    [
+      installed 0 v;
+      installed 1 v;
+      delivered 0 v.View.id 0 0;
+      delivered 0 v.View.id 1 0;
+      delivered 1 v.View.id 1 0;
+      delivered 1 v.View.id 0 0;
+    ]
+  in
+  let violations = Recorder.check_total_order (record trace) ~group in
+  Alcotest.(check bool) "caught" true (violations <> [])
+
+let test_total_order_prefixes_ok () =
+  let v = view ~coord:0 ~seq:1 [ 0; 1 ] in
+  let trace =
+    [
+      installed 0 v;
+      installed 1 v;
+      delivered 0 v.View.id 0 0;
+      delivered 0 v.View.id 1 0;
+      delivered 1 v.View.id 0 0 (* node 1 is simply behind: a prefix *);
+    ]
+  in
+  Alcotest.(check (list string)) "prefix allowed" [] (Recorder.check_total_order (record trace) ~group)
+
+let test_installs_of () =
+  let v1 = view ~coord:0 ~seq:1 [ 0 ] in
+  let v2 = view ~preds:[ v1.View.id ] ~coord:0 ~seq:2 [ 0 ] in
+  let recorder = record [ installed 0 v1; installed 0 v2 ] in
+  Alcotest.(check int) "two installs" 2 (List.length (Recorder.installs_of recorder ~node:0 ~group))
+
+let suite =
+  [
+    Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
+    Alcotest.test_case "detects self-exclusion" `Quick test_detects_self_exclusion;
+    Alcotest.test_case "detects view disagreement" `Quick test_detects_view_disagreement;
+    Alcotest.test_case "detects non-monotone installs" `Quick test_detects_non_monotone_installs;
+    Alcotest.test_case "detects duplicate install" `Quick test_detects_duplicate_install;
+    Alcotest.test_case "detects duplicate delivery" `Quick test_detects_duplicate_delivery;
+    Alcotest.test_case "detects fifo violation" `Quick test_detects_fifo_violation;
+    Alcotest.test_case "detects vs violation" `Quick test_detects_vs_violation;
+    Alcotest.test_case "vs allows divergent successors" `Quick test_vs_allows_divergent_successors;
+    Alcotest.test_case "detects total order violation" `Quick test_detects_total_order_violation;
+    Alcotest.test_case "total order prefix ok" `Quick test_total_order_prefixes_ok;
+    Alcotest.test_case "installs_of" `Quick test_installs_of;
+  ]

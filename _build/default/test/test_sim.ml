@@ -1,0 +1,252 @@
+(* Tests for the discrete-event engine: timers, delivery, CPU queueing,
+   topology, partitions, determinism. *)
+
+open Plwg_sim
+
+type Payload.t += Ping of int
+
+let make ?(model = Model.lossless) ?(n = 4) ?(seed = 1) () = Engine.create ~model ~seed ~n_nodes:n ()
+
+let test_time_units () =
+  Alcotest.(check int) "ms" 1_000 (Time.ms 1);
+  Alcotest.(check int) "sec" 1_000_000 (Time.sec 1);
+  Alcotest.(check int) "of_float_sec" 1_500_000 (Time.of_float_sec 1.5);
+  Alcotest.(check (float 1e-9)) "to ms" 2.5 (Time.to_float_ms 2_500)
+
+let test_timer_ordering () =
+  let engine = make () in
+  let log = ref [] in
+  let at label span =
+    let (_ : Engine.cancel) = Engine.after engine span (fun () -> log := label :: !log) in
+    ()
+  in
+  at "c" (Time.ms 30);
+  at "a" (Time.ms 10);
+  at "b" (Time.ms 20);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check (list string)) "fire order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_timer_same_instant_fifo () =
+  let engine = make () in
+  let log = ref [] in
+  List.iter
+    (fun label ->
+      let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> log := label :: !log) in
+      ())
+    [ "x"; "y"; "z" ];
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check (list string)) "insertion order at equal times" [ "x"; "y"; "z" ] (List.rev !log)
+
+let test_timer_cancel () =
+  let engine = make () in
+  let fired = ref false in
+  let cancel = Engine.after engine (Time.ms 5) (fun () -> fired := true) in
+  cancel ();
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_node_timer_skipped_when_crashed () =
+  let engine = make () in
+  let fired = ref false in
+  let (_ : Engine.cancel) = Engine.after_node engine 2 (Time.ms 50) (fun () -> fired := true) in
+  Engine.crash engine 2;
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check bool) "timer of crashed node skipped" false !fired
+
+let test_send_delivers () =
+  let engine = make () in
+  let got = ref [] in
+  Engine.subscribe engine 1 (fun ~src payload -> match payload with Ping n -> got := (src, n) :: !got | _ -> ());
+  Engine.send engine ~src:0 ~dst:1 (Ping 7);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check (list (pair int int))) "delivered once" [ (0, 7) ] !got
+
+let test_send_latency_positive () =
+  let engine = make () in
+  let delivered_at = ref Time.zero in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> delivered_at := Engine.now engine);
+  Engine.send engine ~src:0 ~dst:1 (Ping 0);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check bool) "latency >= base + proc" true (!delivered_at >= Model.lossless.Model.link_base + Model.lossless.Model.proc_time)
+
+let test_self_send () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 0 (fun ~src:_ _ -> incr got);
+  Engine.send engine ~src:0 ~dst:0 (Ping 1);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "self loop-back" 1 !got
+
+let test_fifo_per_pair () =
+  let engine = make () in
+  let got = ref [] in
+  Engine.subscribe engine 1 (fun ~src:_ payload -> match payload with Ping n -> got := n :: !got | _ -> ());
+  for i = 1 to 20 do
+    Engine.send engine ~src:0 ~dst:1 (Ping i)
+  done;
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check (list int)) "fifo between a fixed pair (lossless, no jitter)" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_cpu_queue_serializes () =
+  (* Two messages arriving together must be processed [proc_time] apart. *)
+  let engine = make () in
+  let times = ref [] in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> times := Engine.now engine :: !times);
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.send engine ~src:0 ~dst:1 (Ping 2);
+  Engine.run engine ~until:(Time.sec 1);
+  match List.rev !times with
+  | [ t1; t2 ] -> Alcotest.(check int) "second waits for cpu" Model.lossless.Model.proc_time (Time.diff t2 t1)
+  | other -> Alcotest.failf "expected 2 deliveries, got %d" (List.length other)
+
+let test_crashed_sender_drops () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Engine.crash engine 0;
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "nothing from crashed sender" 0 !got
+
+let test_crashed_receiver_drops () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Engine.crash engine 1;
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "nothing to crashed receiver" 0 !got
+
+let test_partition_blocks () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 2 (fun ~src:_ _ -> incr got);
+  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Engine.send engine ~src:0 ~dst:2 (Ping 1);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "across partition" 0 !got;
+  Engine.heal engine;
+  Engine.send engine ~src:0 ~dst:2 (Ping 2);
+  Engine.run engine ~until:(Time.sec 2);
+  Alcotest.(check int) "after heal" 1 !got
+
+let test_partition_cuts_in_flight () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  (* partition installed before the message's arrival time *)
+  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "in-flight message cut" 0 !got
+
+let test_topology_validation () =
+  let topology = Topology.create ~n_nodes:3 in
+  Alcotest.check_raises "missing node"
+    (Invalid_argument "Topology.set_partition: node 2 not covered") (fun () ->
+      Topology.set_partition topology [ [ 0 ]; [ 1 ] ]);
+  Alcotest.check_raises "duplicate node"
+    (Invalid_argument "Topology.set_partition: node 0 listed twice") (fun () ->
+      Topology.set_partition topology [ [ 0; 1 ]; [ 0; 2 ] ])
+
+let test_topology_component () =
+  let topology = Topology.create ~n_nodes:5 in
+  Topology.set_partition topology [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  Alcotest.(check (list int)) "component of 1" [ 0; 1; 2 ] (Topology.component_of topology 1);
+  Topology.crash topology 2;
+  Alcotest.(check (list int)) "component excludes crashed" [ 0; 1 ] (Topology.component_of topology 0);
+  Alcotest.(check (list int)) "crashed node isolated" [] (Topology.component_of topology 2);
+  Topology.recover topology 2;
+  Topology.heal topology;
+  Alcotest.(check (list int)) "healed" [ 0; 1; 2; 3; 4 ] (Topology.component_of topology 0)
+
+let test_lossy_model_drops () =
+  let engine = make ~model:(Model.lossy 1.0) () in
+  let got = ref 0 in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "p=1 loses all" 0 !got;
+  Alcotest.(check int) "drop counted" 1 (Engine.stats engine).Engine.wire_dropped
+
+let test_determinism_across_runs () =
+  let run () =
+    let engine = make ~model:Model.default ~seed:77 () in
+    let log = ref [] in
+    for node = 0 to 3 do
+      Engine.subscribe engine node (fun ~src payload ->
+          match payload with Ping n -> log := (Engine.now engine, src, node, n) :: !log | _ -> ())
+    done;
+    for i = 1 to 30 do
+      Engine.send engine ~src:(i mod 4) ~dst:((i + 1) mod 4) (Ping i)
+    done;
+    Engine.run engine ~until:(Time.sec 1);
+    !log
+  in
+  Alcotest.(check bool) "identical event logs from same seed" true (run () = run ())
+
+let test_fault_script () =
+  let engine = make () in
+  let got = ref 0 in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Fault.install engine
+    [ (Time.ms 10, Fault.Partition [ [ 0 ]; [ 1; 2; 3 ] ]); (Time.ms 50, Fault.Heal); (Time.ms 80, Fault.Crash 0) ];
+  (* before the partition: delivered *)
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine ~until:(Time.ms 20);
+  (* during the partition: dropped *)
+  Engine.send engine ~src:0 ~dst:1 (Ping 2);
+  Engine.run engine ~until:(Time.ms 60);
+  (* after heal: delivered *)
+  Engine.send engine ~src:0 ~dst:1 (Ping 3);
+  Engine.run engine ~until:(Time.ms 85);
+  (* after crash of 0: dropped *)
+  Engine.send engine ~src:0 ~dst:1 (Ping 4);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "fault script shapes delivery" 2 !got
+
+let test_engine_stats () =
+  let engine = make () in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> ());
+  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Engine.run_span engine (Time.ms 100);
+  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Engine.send engine ~src:0 ~dst:1 (Ping 2);
+  Engine.run engine ~until:(Time.sec 1);
+  let stats = Engine.stats engine in
+  Alcotest.(check int) "sent counts reachable sends" 1 stats.Engine.sent;
+  Alcotest.(check int) "delivered" 1 stats.Engine.delivered;
+  Alcotest.(check int) "unreachable dropped" 1 stats.Engine.unreachable_dropped
+
+let test_run_until_idle () =
+  let engine = make () in
+  let fired = ref false in
+  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> fired := true) in
+  Engine.run_until_idle engine;
+  Alcotest.(check bool) "drained" true !fired
+
+let suite =
+  [
+    Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "timer ordering" `Quick test_timer_ordering;
+    Alcotest.test_case "same-instant fifo" `Quick test_timer_same_instant_fifo;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "node timer skipped when crashed" `Quick test_node_timer_skipped_when_crashed;
+    Alcotest.test_case "send delivers" `Quick test_send_delivers;
+    Alcotest.test_case "send latency" `Quick test_send_latency_positive;
+    Alcotest.test_case "self send" `Quick test_self_send;
+    Alcotest.test_case "fifo per pair" `Quick test_fifo_per_pair;
+    Alcotest.test_case "cpu queue serializes" `Quick test_cpu_queue_serializes;
+    Alcotest.test_case "crashed sender drops" `Quick test_crashed_sender_drops;
+    Alcotest.test_case "crashed receiver drops" `Quick test_crashed_receiver_drops;
+    Alcotest.test_case "partition blocks" `Quick test_partition_blocks;
+    Alcotest.test_case "partition cuts in-flight" `Quick test_partition_cuts_in_flight;
+    Alcotest.test_case "topology validation" `Quick test_topology_validation;
+    Alcotest.test_case "topology components" `Quick test_topology_component;
+    Alcotest.test_case "lossy model drops" `Quick test_lossy_model_drops;
+    Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs;
+    Alcotest.test_case "fault script" `Quick test_fault_script;
+    Alcotest.test_case "engine stats" `Quick test_engine_stats;
+    Alcotest.test_case "run until idle" `Quick test_run_until_idle;
+  ]

@@ -1,0 +1,148 @@
+(* Unit and property tests for Plwg_util: Rng determinism/statistics and
+   Heap ordering. *)
+
+open Plwg_util
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let child_first = Rng.int64 child in
+  let parent_next = Rng.int64 parent in
+  Alcotest.(check bool) "split stream differs from parent" true (child_first <> parent_next)
+
+let test_rng_copy_replays () =
+  let a = Rng.create ~seed:99 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 8 0 in
+  let n = 16_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let expected = n / 8 in
+      let deviation = abs (count - expected) in
+      Alcotest.(check bool) (Printf.sprintf "bucket %d roughly uniform" i) true (deviation < expected / 4))
+    buckets
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:12 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean close to 5" true (abs_float (mean -. 5.0) < 0.3)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let xs = List.init 20 (fun i -> i) in
+  let shuffled = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort Int.compare shuffled)
+
+let test_rng_pick_member () =
+  let rng = Rng.create ~seed:14 in
+  let xs = [ 3; 1; 4; 1; 5 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick from list" true (List.mem (Rng.pick rng xs) xs)
+  done;
+  Alcotest.check_raises "pick []" (Invalid_argument "Rng.pick: empty list") (fun () -> ignore (Rng.pick rng []))
+
+let test_heap_basic () =
+  let heap = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty heap);
+  Heap.push heap 5;
+  Heap.push heap 3;
+  Heap.push heap 8;
+  Alcotest.(check int) "size" 3 (Heap.size heap);
+  Alcotest.(check (option int)) "peek min" (Some 3) (Heap.peek heap);
+  Alcotest.(check (option int)) "pop min" (Some 3) (Heap.pop heap);
+  Alcotest.(check (option int)) "pop next" (Some 5) (Heap.pop heap);
+  Alcotest.(check (option int)) "pop last" (Some 8) (Heap.pop heap);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop heap)
+
+let test_heap_clear () =
+  let heap = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push heap) [ 1; 2; 3 ];
+  Heap.clear heap;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty heap)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let heap = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push heap) xs;
+      let rec drain acc = match Heap.pop heap with Some x -> drain (x :: acc) | None -> List.rev acc in
+      drain [] = List.sort Int.compare xs)
+
+let prop_heap_size =
+  QCheck.Test.make ~name:"heap size tracks pushes/pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let heap = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push heap) xs;
+      let before = Heap.size heap in
+      (match Heap.pop heap with
+      | Some _ -> Heap.size heap = before - 1
+      | None -> before = 0)
+      && Heap.size heap = List.length (Heap.to_list heap))
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy replays" `Quick test_rng_copy_replays;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng pick" `Quick test_rng_pick_member;
+    Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_size;
+  ]

@@ -1,0 +1,631 @@
+(* Tests for the partitionable virtual-synchrony (HWG) layer: joins,
+   leaves, crashes, partitions, merges, flush semantics, ordering, and
+   the trace invariants under adversarial schedules. *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+module Hwg = Plwg_vsync.Hwg
+module Recorder = Plwg_vsync.Recorder
+module Cluster = Plwg_harness.Cluster
+
+type Payload.t += App of int
+
+let gid ?(seq = 1) origin = { Gid.seq; origin }
+
+(* Per-node delivery log threaded through callbacks. *)
+let make_cluster ?(model = Model.default) ?(seed = 21) ~n () =
+  let log : (Node_id.t * Gid.t * Node_id.t * int) list ref = ref [] in
+  let callbacks node =
+    {
+      Hwg.no_callbacks with
+      Hwg.on_data =
+        (fun group ~view_id:_ ~src payload ->
+          match payload with App n -> log := (node, group, src, n) :: !log | _ -> ());
+    }
+  in
+  let cluster = Cluster.create ~model ~callbacks ~seed ~n_nodes:n () in
+  (cluster, log)
+
+let received log ~node ~group = List.rev (List.filter_map (fun (n, g, src, v) ->
+    if n = node && Gid.equal g group then Some (src, v) else None) !log)
+
+let check_converged cluster group msg =
+  Alcotest.(check bool) msg true (Cluster.converged cluster group)
+
+let check_invariants cluster =
+  Alcotest.(check (list string)) "trace invariants" [] (Recorder.check_all cluster.Cluster.recorder)
+
+let test_singleton_view () =
+  let cluster, _ = make_cluster ~n:3 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Cluster.run cluster (Time.sec 2);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view ->
+      Alcotest.(check (list int)) "alone" [ 0 ] view.View.members;
+      Alcotest.(check (list int)) "no predecessors" [] (List.map (fun _ -> 0) view.View.preds)
+  | None -> Alcotest.fail "no view installed");
+  check_invariants cluster
+
+let test_two_joiners_merge () =
+  let cluster, _ = make_cluster ~n:3 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Hwg.join cluster.Cluster.hwgs.(1) group;
+  Cluster.run cluster (Time.sec 4);
+  check_converged cluster group "both members share one view";
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view -> Alcotest.(check (list int)) "members" [ 0; 1 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_invariants cluster
+
+let test_staggered_joins () =
+  let cluster, _ = make_cluster ~n:5 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Cluster.run cluster (Time.sec 2);
+  Hwg.join cluster.Cluster.hwgs.(1) group;
+  Cluster.run cluster (Time.sec 2);
+  Hwg.join cluster.Cluster.hwgs.(2) group;
+  Hwg.join cluster.Cluster.hwgs.(3) group;
+  Cluster.run cluster (Time.sec 4);
+  check_converged cluster group "four members";
+  (match Hwg.view_of cluster.Cluster.hwgs.(3) group with
+  | Some view -> Alcotest.(check (list int)) "members" [ 0; 1; 2; 3 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_invariants cluster
+
+let test_send_deliver_all () =
+  let cluster, log = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  check_converged cluster group "view formed";
+  for i = 1 to 10 do
+    Hwg.send cluster.Cluster.hwgs.(0) group (App i)
+  done;
+  Cluster.run cluster (Time.sec 1);
+  List.iter
+    (fun node ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "node %d got all in FIFO order" node)
+        (List.init 10 (fun i -> (0, i + 1)))
+        (received log ~node ~group))
+    [ 0; 1; 2; 3 ];
+  check_invariants cluster
+
+let test_sender_receives_own () =
+  let cluster, log = make_cluster ~n:2 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Cluster.run cluster (Time.sec 2);
+  Hwg.send cluster.Cluster.hwgs.(0) group (App 9);
+  Cluster.run cluster (Time.sec 1);
+  Alcotest.(check (list (pair int int))) "self delivery" [ (0, 9) ] (received log ~node:0 ~group);
+  check_invariants cluster
+
+let test_send_while_joining_buffered () =
+  let cluster, log = make_cluster ~n:2 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Hwg.send cluster.Cluster.hwgs.(0) group (App 1);
+  (* still Joining: buffered, sent in the first view *)
+  Cluster.run cluster (Time.sec 2);
+  Alcotest.(check (list (pair int int))) "buffered send arrives" [ (0, 1) ] (received log ~node:0 ~group);
+  check_invariants cluster
+
+let test_leave_shrinks_view () =
+  let cluster, _ = make_cluster ~n:3 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Hwg.leave cluster.Cluster.hwgs.(1) group;
+  Cluster.run cluster (Time.sec 3);
+  Alcotest.(check bool) "1 no longer member" false (Hwg.is_member cluster.Cluster.hwgs.(1) group);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view -> Alcotest.(check (list int)) "survivors" [ 0; 2 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_converged cluster group "survivors converge";
+  check_invariants cluster
+
+let test_last_member_leave () =
+  let cluster, _ = make_cluster ~n:2 () in
+  let group = gid 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) group;
+  Cluster.run cluster (Time.sec 2);
+  Hwg.leave cluster.Cluster.hwgs.(0) group;
+  Cluster.run cluster (Time.sec 2);
+  Alcotest.(check bool) "gone" false (Hwg.is_member cluster.Cluster.hwgs.(0) group);
+  Alcotest.(check (list string)) "left recorded" [ "left" ]
+    (List.filter_map
+       (function _, Hwg.Left { node = 0; _ } -> Some "left" | _ -> None)
+       (Recorder.events cluster.Cluster.recorder));
+  check_invariants cluster
+
+let test_crash_removes_member () =
+  let cluster, _ = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Engine.crash cluster.Cluster.engine 3;
+  Cluster.run cluster (Time.sec 4);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view -> Alcotest.(check (list int)) "crashed node excluded" [ 0; 1; 2 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_converged cluster group "survivors converge";
+  check_invariants cluster
+
+let test_coordinator_crash () =
+  (* node 0 is the coordinator (smallest id); killing it must elect 1 *)
+  let cluster, _ = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Alcotest.(check bool) "0 coordinates" true (Hwg.am_coordinator cluster.Cluster.hwgs.(0) group);
+  Engine.crash cluster.Cluster.engine 0;
+  Cluster.run cluster (Time.sec 4);
+  Alcotest.(check bool) "1 coordinates" true (Hwg.am_coordinator cluster.Cluster.hwgs.(1) group);
+  (match Hwg.view_of cluster.Cluster.hwgs.(1) group with
+  | Some view -> Alcotest.(check (list int)) "survivors" [ 1; 2; 3 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_invariants cluster
+
+let test_partition_concurrent_views () =
+  let cluster, _ = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Cluster.run cluster (Time.sec 4);
+  let view_at node =
+    match Hwg.view_of cluster.Cluster.hwgs.(node) group with
+    | Some v -> v
+    | None -> Alcotest.failf "node %d lost its view" node
+  in
+  Alcotest.(check (list int)) "side A" [ 0; 1 ] (view_at 0).View.members;
+  Alcotest.(check (list int)) "side B" [ 2; 3 ] (view_at 2).View.members;
+  Alcotest.(check bool) "concurrent ids differ" false (View_id.equal (view_at 0).View.id (view_at 2).View.id);
+  check_converged cluster group "per-side convergence";
+  check_invariants cluster
+
+let test_heal_merges_views () =
+  let cluster, _ = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Cluster.run cluster (Time.sec 4);
+  let side_a = Option.get (Hwg.view_of cluster.Cluster.hwgs.(0) group) in
+  let side_b = Option.get (Hwg.view_of cluster.Cluster.hwgs.(2) group) in
+  Engine.heal cluster.Cluster.engine;
+  Cluster.run cluster (Time.sec 5);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view ->
+      Alcotest.(check (list int)) "merged membership" [ 0; 1; 2; 3 ] view.View.members;
+      let pred_ids = view.View.preds in
+      Alcotest.(check bool) "lineage keeps side A" true (List.exists (View_id.equal side_a.View.id) pred_ids);
+      Alcotest.(check bool) "lineage keeps side B" true (List.exists (View_id.equal side_b.View.id) pred_ids)
+  | None -> Alcotest.fail "no merged view");
+  check_converged cluster group "merged convergence";
+  check_invariants cluster
+
+let test_traffic_through_partition_and_heal () =
+  let cluster, log = make_cluster ~n:4 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  (* traffic before, during and after a partition cycle *)
+  Hwg.send cluster.Cluster.hwgs.(0) group (App 1);
+  Cluster.run cluster (Time.ms 100);
+  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Cluster.run cluster (Time.sec 4);
+  Hwg.send cluster.Cluster.hwgs.(0) group (App 2);
+  Hwg.send cluster.Cluster.hwgs.(2) group (App 3);
+  Cluster.run cluster (Time.sec 1);
+  Engine.heal cluster.Cluster.engine;
+  Cluster.run cluster (Time.sec 5);
+  Hwg.send cluster.Cluster.hwgs.(3) group (App 4);
+  Cluster.run cluster (Time.sec 1);
+  (* everyone alive got the final message in the merged view *)
+  List.iter
+    (fun node ->
+      let got = received log ~node ~group in
+      Alcotest.(check bool) (Printf.sprintf "node %d got post-heal message" node) true (List.mem (3, 4) got))
+    [ 0; 1; 2; 3 ];
+  (* side messages stayed on their side *)
+  Alcotest.(check bool) "A-side message not on B" false (List.mem (0, 2) (received log ~node:2 ~group));
+  Alcotest.(check bool) "B-side message not on A" false (List.mem (2, 3) (received log ~node:0 ~group));
+  check_invariants cluster
+
+let test_join_during_partition_then_heal () =
+  let cluster, _ = make_cluster ~n:5 () in
+  let group = gid 0 in
+  List.iter (fun node -> Hwg.join cluster.Cluster.hwgs.(node) group) [ 0; 1 ];
+  Cluster.run cluster (Time.sec 4);
+  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  Cluster.run cluster (Time.sec 2);
+  (* node 3 joins on the other side: forms a concurrent view *)
+  Hwg.join cluster.Cluster.hwgs.(3) group;
+  Cluster.run cluster (Time.sec 3);
+  (match Hwg.view_of cluster.Cluster.hwgs.(3) group with
+  | Some view -> Alcotest.(check (list int)) "singleton on side B" [ 3 ] view.View.members
+  | None -> Alcotest.fail "no side-B view");
+  Engine.heal cluster.Cluster.engine;
+  Cluster.run cluster (Time.sec 5);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view -> Alcotest.(check (list int)) "all merged" [ 0; 1; 3 ] view.View.members
+  | None -> Alcotest.fail "no merged view");
+  check_converged cluster group "post-heal convergence";
+  check_invariants cluster
+
+let test_force_flush_reinstalls () =
+  let cluster, _ = make_cluster ~n:3 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  let before = Option.get (Hwg.view_of cluster.Cluster.hwgs.(0) group) in
+  Hwg.force_flush cluster.Cluster.hwgs.(1) group;
+  Cluster.run cluster (Time.sec 3);
+  let after = Option.get (Hwg.view_of cluster.Cluster.hwgs.(0) group) in
+  Alcotest.(check bool) "new view id" false (View_id.equal before.View.id after.View.id);
+  Alcotest.(check (list int)) "same membership" before.View.members after.View.members;
+  Alcotest.(check bool) "lineage" true (List.exists (View_id.equal before.View.id) after.View.preds);
+  check_converged cluster group "converged after flush";
+  check_invariants cluster
+
+let test_flush_cuts_are_synchronized () =
+  (* Send a burst and immediately crash a member: survivors must agree
+     on the delivered set (checked by the virtual-synchrony invariant). *)
+  let cluster, _ = make_cluster ~n:4 ~seed:31 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  for i = 1 to 50 do
+    Hwg.send cluster.Cluster.hwgs.(i mod 4) group (App i)
+  done;
+  Engine.crash cluster.Cluster.engine 2;
+  Cluster.run cluster (Time.sec 5);
+  check_converged cluster group "survivors converge";
+  check_invariants cluster
+
+let test_manual_stop_ok () =
+  let stops = ref [] in
+  let config = { Hwg.default_config with Hwg.auto_stop_ok = false } in
+  let log = ref [] in
+  let cluster = ref None in
+  let callbacks node =
+    {
+      Hwg.on_view = (fun _ _ -> ());
+      Hwg.on_data = (fun _ ~view_id:_ ~src ->
+        function App n -> log := (node, src, n) :: !log | _ -> ());
+      Hwg.on_stop =
+        (fun group ->
+          stops := (node, group) :: !stops;
+          (* ack immediately, as the LWG layer would after quiescing *)
+          match !cluster with
+          | Some c -> Hwg.stop_ok c.Cluster.hwgs.(node) group
+          | None -> ());
+    }
+  in
+  let c = Cluster.create ~hwg_config:config ~callbacks ~seed:7 ~n_nodes:3 () in
+  cluster := Some c;
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) c.Cluster.hwgs;
+  Cluster.run c (Time.sec 5);
+  Alcotest.(check bool) "view formed" true (Hwg.is_member c.Cluster.hwgs.(2) group);
+  Alcotest.(check bool) "stop upcalls happened" true (List.length !stops > 0);
+  Alcotest.(check (list string)) "invariants" [] (Recorder.check_all c.Cluster.recorder)
+
+let test_total_order () =
+  let cluster, log = make_cluster ~n:4 ~seed:13 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join ~ordering:Total hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  (* concurrent senders: all nodes must deliver in one total order *)
+  for i = 1 to 20 do
+    Hwg.send cluster.Cluster.hwgs.(i mod 4) group (App i)
+  done;
+  Cluster.run cluster (Time.sec 2);
+  let per_node = List.map (fun node -> received log ~node ~group) [ 0; 1; 2; 3 ] in
+  (match per_node with
+  | first :: rest ->
+      Alcotest.(check int) "all 20 delivered" 20 (List.length first);
+      List.iter (fun other -> Alcotest.(check (list (pair int int))) "same total order" first other) rest
+  | [] -> ());
+  Alcotest.(check (list string)) "total order invariant" []
+    (Recorder.check_total_order cluster.Cluster.recorder ~group);
+  check_invariants cluster
+
+let test_total_order_survives_coordinator_crash () =
+  let cluster, log = make_cluster ~n:4 ~seed:17 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join ~ordering:Total hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  for i = 1 to 10 do
+    Hwg.send cluster.Cluster.hwgs.(1) group (App i)
+  done;
+  Engine.crash cluster.Cluster.engine 0;
+  Cluster.run cluster (Time.sec 5);
+  for i = 11 to 15 do
+    Hwg.send cluster.Cluster.hwgs.(2) group (App i)
+  done;
+  Cluster.run cluster (Time.sec 2);
+  (* survivors agree and eventually see every message exactly once *)
+  let got1 = received log ~node:1 ~group and got2 = received log ~node:2 ~group in
+  Alcotest.(check (list (pair int int))) "same sequence at survivors" got1 got2;
+  let values = List.map snd got1 in
+  List.iter
+    (fun i -> Alcotest.(check bool) (Printf.sprintf "message %d delivered" i) true (List.mem i values))
+    [ 11; 12; 13; 14; 15 ];
+  Alcotest.(check (list string)) "total order invariant" []
+    (Recorder.check_total_order cluster.Cluster.recorder ~group);
+  check_invariants cluster
+
+let test_two_groups_independent () =
+  let cluster, log = make_cluster ~n:4 () in
+  let g1 = gid ~seq:1 0 and g2 = gid ~seq:2 0 in
+  List.iter (fun node -> Hwg.join cluster.Cluster.hwgs.(node) g1) [ 0; 1 ];
+  List.iter (fun node -> Hwg.join cluster.Cluster.hwgs.(node) g2) [ 2; 3 ];
+  Cluster.run cluster (Time.sec 4);
+  Hwg.send cluster.Cluster.hwgs.(0) g1 (App 1);
+  Hwg.send cluster.Cluster.hwgs.(2) g2 (App 2);
+  Cluster.run cluster (Time.sec 1);
+  Alcotest.(check (list (pair int int))) "g1 at 1" [ (0, 1) ] (received log ~node:1 ~group:g1);
+  Alcotest.(check (list (pair int int))) "no g2 leak to 1" [] (received log ~node:1 ~group:g2);
+  Alcotest.(check (list (pair int int))) "g2 at 3" [ (2, 2) ] (received log ~node:3 ~group:g2);
+  check_invariants cluster
+
+let test_rejoin_after_leave () =
+  let cluster, _ = make_cluster ~n:3 () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Hwg.leave cluster.Cluster.hwgs.(2) group;
+  Cluster.run cluster (Time.sec 3);
+  Hwg.join cluster.Cluster.hwgs.(2) group;
+  Cluster.run cluster (Time.sec 4);
+  (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
+  | Some view -> Alcotest.(check (list int)) "rejoined" [ 0; 1; 2 ] view.View.members
+  | None -> Alcotest.fail "no view");
+  check_converged cluster group "converged";
+  check_invariants cluster
+
+let test_groups_listing () =
+  let cluster, _ = make_cluster ~n:2 () in
+  let g1 = gid ~seq:1 0 and g2 = gid ~seq:2 0 in
+  Hwg.join cluster.Cluster.hwgs.(0) g1;
+  Hwg.join cluster.Cluster.hwgs.(0) g2;
+  Cluster.run cluster (Time.sec 2);
+  Alcotest.(check int) "two groups" 2 (List.length (Hwg.groups cluster.Cluster.hwgs.(0)));
+  Alcotest.(check int) "none elsewhere" 0 (List.length (Hwg.groups cluster.Cluster.hwgs.(1)))
+
+let test_send_not_member_raises () =
+  let cluster, _ = make_cluster ~n:2 () in
+  let group = gid 0 in
+  Alcotest.check_raises "send without membership" (Invalid_argument "Hwg.send: not a member of the group")
+    (fun () -> Hwg.send cluster.Cluster.hwgs.(0) group (App 1))
+
+let test_fresh_gid_ordering () =
+  let cluster, _ = make_cluster ~n:2 () in
+  let a = Hwg.fresh_gid cluster.Cluster.hwgs.(0) in
+  let b = Hwg.fresh_gid cluster.Cluster.hwgs.(0) in
+  let c = Hwg.fresh_gid cluster.Cluster.hwgs.(1) in
+  Alcotest.(check bool) "monotone per node" true (Gid.compare a b < 0);
+  Alcotest.(check bool) "cross-node total order" true (Gid.compare a c <> 0)
+
+(* Stability GC: delivered messages are pruned from the retransmission
+   store once every member has them; a flush right after heavy traffic
+   must still synchronise correctly from the pruned stores. *)
+let test_stability_gc_prunes () =
+  let cluster, _ = make_cluster ~n:3 ~seed:41 () in
+  let group = gid 7 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  for k = 1 to 200 do
+    let (_ : Engine.cancel) =
+      Engine.after cluster.Cluster.engine (Time.ms (10 * k)) (fun () ->
+          Hwg.send cluster.Cluster.hwgs.(k mod 3) group (App k))
+    in
+    ()
+  done;
+  Cluster.run cluster (Time.sec 4);
+  (* mid-traffic snapshot: the store must stay well below the total sent *)
+  let mid = Hwg.store_size cluster.Cluster.hwgs.(0) group in
+  Alcotest.(check bool) (Printf.sprintf "pruned while sending (%d kept)" mid) true (mid < 150);
+  Cluster.run cluster (Time.sec 3);
+  List.iter
+    (fun node ->
+      let kept = Hwg.store_size cluster.Cluster.hwgs.(node) group in
+      Alcotest.(check bool) (Printf.sprintf "node %d store drained (%d kept)" node kept) true (kept < 40))
+    [ 0; 1; 2 ];
+  (* a view change right after pruning must still be virtually synchronous *)
+  Engine.crash cluster.Cluster.engine 2;
+  Cluster.run cluster (Time.sec 4);
+  check_converged cluster group "survivors converge";
+  check_invariants cluster
+
+let test_stability_disabled_retains () =
+  let config = { Hwg.default_config with Hwg.stability_period = 0 } in
+  let cluster = Cluster.create ~hwg_config:config ~seed:42 ~n_nodes:3 () in
+  let group = gid 7 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  for k = 1 to 50 do
+    Hwg.send cluster.Cluster.hwgs.(0) group (App k)
+  done;
+  Cluster.run cluster (Time.sec 3);
+  Alcotest.(check int) "everything retained without the exchange" 50
+    (Hwg.store_size cluster.Cluster.hwgs.(1) group)
+
+(* Causal ordering: a relay scenario under heavy link jitter.  With
+   FIFO ordering a reply can overtake the message it answers; causal
+   ordering must delay it. *)
+type Payload.t += Ping of int | Pong of int
+
+let causal_relay ~ordering ~seed =
+  let jittery = { Model.default with Model.link_jitter = Time.us 900 } in
+  let violations = ref 0 and pongs = ref 0 in
+  let cluster_ref = ref None in
+  let group = gid 5 in
+  let order_log = ref [] in
+  let callbacks node =
+    {
+      Hwg.no_callbacks with
+      Hwg.on_data =
+        (fun _ ~view_id:_ ~src:_ payload ->
+          match payload with
+          | Ping k ->
+              if node = 0 then order_log := `Ping k :: !order_log;
+              if node = 2 then (
+                match !cluster_ref with
+                | Some c -> Hwg.send c.Cluster.hwgs.(2) group (Pong k)
+                | None -> ())
+          | Pong k ->
+              if node = 0 then begin
+                incr pongs;
+                if not (List.mem (`Ping k) !order_log) then incr violations;
+                order_log := `Pong k :: !order_log
+              end
+          | _ -> ());
+    }
+  in
+  let cluster = Cluster.create ~model:jittery ~callbacks ~seed ~n_nodes:3 () in
+  cluster_ref := Some cluster;
+  Array.iter (fun hwg -> Hwg.join ~ordering hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  for k = 1 to 40 do
+    let (_ : Engine.cancel) =
+      Engine.after cluster.Cluster.engine (Time.ms (5 * k)) (fun () ->
+          Hwg.send cluster.Cluster.hwgs.(1) group (Ping k))
+    in
+    ()
+  done;
+  Cluster.run cluster (Time.sec 3);
+  let invariants = Recorder.check_all cluster.Cluster.recorder in
+  (!violations, !pongs, invariants)
+
+let test_causal_never_violates () =
+  List.iter
+    (fun seed ->
+      let violations, pongs, invariants = causal_relay ~ordering:Causal ~seed in
+      Alcotest.(check int) (Printf.sprintf "no causal violation (seed %d)" seed) 0 violations;
+      Alcotest.(check int) "all replies delivered" 40 pongs;
+      Alcotest.(check (list string)) "invariants" [] invariants)
+    [ 1; 2; 5; 9 ]
+
+let test_fifo_can_violate_causality () =
+  (* the scenario has teeth: without the causal gate the violation does
+     occur under this jitter *)
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let violations, _, _ = causal_relay ~ordering:Fifo ~seed in
+        acc + violations)
+      0 [ 1; 2; 5; 9 ]
+  in
+  Alcotest.(check bool) "fifo reorders causally-related messages" true (total > 0)
+
+let test_causal_survives_partition_merge () =
+  let cluster, log = make_cluster ~n:4 ~seed:23 () in
+  let group = gid 6 in
+  Array.iter (fun hwg -> Hwg.join ~ordering:Causal hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 4);
+  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Cluster.run cluster (Time.sec 4);
+  Hwg.send cluster.Cluster.hwgs.(0) group (App 1);
+  Hwg.send cluster.Cluster.hwgs.(2) group (App 2);
+  Cluster.run cluster (Time.sec 1);
+  Engine.heal cluster.Cluster.engine;
+  Cluster.run cluster (Time.sec 5);
+  Hwg.send cluster.Cluster.hwgs.(3) group (App 3);
+  Cluster.run cluster (Time.sec 1);
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d got post-merge message" node)
+        true
+        (List.mem (3, 3) (received log ~node ~group)))
+    [ 0; 1; 2; 3 ];
+  check_invariants cluster
+
+(* Randomized stress: random churn of crashes/partitions/heals with
+   background traffic; every trace invariant must hold, and after a
+   final heal plus settle the group must converge. *)
+let stress_once seed =
+  let cluster, _ = make_cluster ~n:6 ~seed () in
+  let group = gid 0 in
+  Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
+  Cluster.run cluster (Time.sec 5);
+  let rng = Plwg_util.Rng.create ~seed:(seed * 31 + 7) in
+  for _round = 1 to 4 do
+    (* random disruption *)
+    (match Plwg_util.Rng.int rng 3 with
+    | 0 ->
+        let cut = 1 + Plwg_util.Rng.int rng 4 in
+        let left = List.init cut (fun i -> i) and right = List.init (6 - cut) (fun i -> cut + i) in
+        Engine.set_partition cluster.Cluster.engine [ left; right ]
+    | 1 -> Engine.heal cluster.Cluster.engine
+    | _ -> ());
+    (* traffic from random reachable members *)
+    for _ = 1 to 5 do
+      let sender = Plwg_util.Rng.int rng 6 in
+      if Hwg.is_member cluster.Cluster.hwgs.(sender) group then
+        Hwg.send cluster.Cluster.hwgs.(sender) group (App (Plwg_util.Rng.int rng 1000))
+    done;
+    Cluster.run cluster (Time.sec 3)
+  done;
+  Engine.heal cluster.Cluster.engine;
+  Cluster.run cluster (Time.sec 8);
+  let violations = Recorder.check_all cluster.Cluster.recorder in
+  let converged = Cluster.converged cluster group in
+  (violations, converged)
+
+let test_stress_invariants () =
+  List.iter
+    (fun seed ->
+      let violations, converged = stress_once seed in
+      Alcotest.(check (list string)) (Printf.sprintf "invariants (seed %d)" seed) [] violations;
+      Alcotest.(check bool) (Printf.sprintf "convergence (seed %d)" seed) true converged)
+    [ 101; 202; 303 ]
+
+let prop_stress =
+  QCheck.Test.make ~name:"vsync: invariants + convergence under random churn" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let violations, converged = stress_once (seed + 1) in
+      violations = [] && converged)
+
+let suite =
+  [
+    Alcotest.test_case "singleton view" `Quick test_singleton_view;
+    Alcotest.test_case "two joiners merge" `Quick test_two_joiners_merge;
+    Alcotest.test_case "staggered joins" `Quick test_staggered_joins;
+    Alcotest.test_case "send delivers to all" `Quick test_send_deliver_all;
+    Alcotest.test_case "sender receives own" `Quick test_sender_receives_own;
+    Alcotest.test_case "send while joining buffered" `Quick test_send_while_joining_buffered;
+    Alcotest.test_case "leave shrinks view" `Quick test_leave_shrinks_view;
+    Alcotest.test_case "last member leave" `Quick test_last_member_leave;
+    Alcotest.test_case "crash removes member" `Quick test_crash_removes_member;
+    Alcotest.test_case "coordinator crash" `Quick test_coordinator_crash;
+    Alcotest.test_case "partition concurrent views" `Quick test_partition_concurrent_views;
+    Alcotest.test_case "heal merges views" `Quick test_heal_merges_views;
+    Alcotest.test_case "traffic through partition+heal" `Quick test_traffic_through_partition_and_heal;
+    Alcotest.test_case "join during partition then heal" `Quick test_join_during_partition_then_heal;
+    Alcotest.test_case "force flush reinstalls" `Quick test_force_flush_reinstalls;
+    Alcotest.test_case "flush cuts synchronized" `Quick test_flush_cuts_are_synchronized;
+    Alcotest.test_case "manual stop ok" `Quick test_manual_stop_ok;
+    Alcotest.test_case "total order" `Quick test_total_order;
+    Alcotest.test_case "total order survives coordinator crash" `Quick test_total_order_survives_coordinator_crash;
+    Alcotest.test_case "two groups independent" `Quick test_two_groups_independent;
+    Alcotest.test_case "rejoin after leave" `Quick test_rejoin_after_leave;
+    Alcotest.test_case "groups listing" `Quick test_groups_listing;
+    Alcotest.test_case "send when not member" `Quick test_send_not_member_raises;
+    Alcotest.test_case "fresh gid ordering" `Quick test_fresh_gid_ordering;
+    Alcotest.test_case "stability gc prunes" `Quick test_stability_gc_prunes;
+    Alcotest.test_case "stability disabled retains" `Quick test_stability_disabled_retains;
+    Alcotest.test_case "causal never violates" `Quick test_causal_never_violates;
+    Alcotest.test_case "fifo can violate causality" `Quick test_fifo_can_violate_causality;
+    Alcotest.test_case "causal survives partition+merge" `Quick test_causal_survives_partition_merge;
+    Alcotest.test_case "stress invariants" `Slow test_stress_invariants;
+    QCheck_alcotest.to_alcotest prop_stress;
+  ]
