@@ -126,11 +126,55 @@ module Micro = struct
       all
 end
 
+(* ------------------------------------------------------------------ *)
+(* Per-phase traffic breakdown of the reconciliation scenario          *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the Figure 3/4 scenario with the trace sink attached and breaks
+   the delivered messages down by protocol (the leading identifier of
+   the payload rendering) and by phase (before vs after the heal).  The
+   split shows what the reconciliation itself costs on the wire. *)
+let message_breakdown () =
+  let obs = Plwg_obs.create () in
+  ignore (Plwg_harness.Scenario.run ~obs ());
+  let entries = Plwg_obs.Sink.to_list obs.Plwg_obs.sink in
+  let heal_at =
+    List.fold_left
+      (fun acc { Plwg_obs.Event.at_us; event } ->
+        match event with Plwg_obs.Event.Healed -> at_us | _ -> acc)
+      max_int entries
+  in
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun { Plwg_obs.Event.at_us; event } ->
+      match event with
+      | Plwg_obs.Event.Msg_delivered { kind; latency_us; _ } ->
+          let proto = Plwg_obs.Event.kind_prefix kind in
+          let key = (proto, at_us >= heal_at) in
+          let count, latencies =
+            match Hashtbl.find_opt tally key with Some existing -> existing | None -> (0, [])
+          in
+          Hashtbl.replace tally key (count + 1, float_of_int latency_us :: latencies)
+      | _ -> ())
+    entries;
+  Printf.printf "%-28s%10s%12s%12s\n" "protocol / phase" "msgs" "p50 us" "p95 us";
+  Hashtbl.fold (fun key stats acc -> (key, stats) :: acc) tally []
+  |> List.sort compare
+  |> List.iter (fun ((proto, healed), (count, latencies)) ->
+         Printf.printf "%-28s%10d%12.0f%12.0f\n"
+           (Printf.sprintf "%s (%s)" proto (if healed then "post-heal" else "pre-heal"))
+           count
+           (Plwg_obs.Metrics.percentile 0.50 latencies)
+           (Plwg_obs.Metrics.percentile 0.95 latencies));
+  flush stdout
+
 let () =
   section "Figure 2: latency / throughput / recovery (no-lwg vs static vs dynamic)";
   Plwg_harness.Figure2.print_all ();
   section "Figures 3-4, Tables 3-4: partition criss-cross and reconciliation";
   Plwg_harness.Scenario.print (Plwg_harness.Scenario.run ());
+  section "Reconciliation traffic: per-protocol message breakdown (trace-derived)";
+  message_breakdown ();
   section "Figure 5 cost: merge-views (one flush for all LWGs of a HWG)";
   Plwg_harness.Ablation.merge_cost ();
   section "Ablation: policy parameters (Figure 1 rules)";

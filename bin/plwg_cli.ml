@@ -6,6 +6,34 @@
 
 open Cmdliner
 
+(* ---------------- shared observability flags ---------------- *)
+
+let trace_arg =
+  let doc = "Write the simulation trace as JSON Lines to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics registry (counters and latency percentiles) on exit." in
+  Arg.(value & opt bool false & info [ "metrics" ] ~docv:"BOOL" ~doc)
+
+(* An observer is only allocated when one of the flags asks for it, so
+   the default runs keep the zero-cost disabled path. *)
+let obs_of_flags trace metrics =
+  if trace <> None || metrics then Some (Plwg_obs.create ()) else None
+
+let finish_obs ?trace ~metrics obs =
+  match obs with
+  | None -> ()
+  | Some o ->
+      (match trace with
+      | Some file ->
+          Plwg_obs.Sink.write_file o.Plwg_obs.sink file;
+          Printf.printf "trace: %d events written to %s (%d dropped by the ring)\n" (Plwg_obs.Sink.length o.Plwg_obs.sink)
+            file
+            (Plwg_obs.Sink.dropped o.Plwg_obs.sink)
+      | None -> ());
+      if metrics then Plwg_obs.Metrics.report Format.std_formatter o.Plwg_obs.metrics
+
 (* ---------------- figure2 ---------------- *)
 
 let figure2_cmd =
@@ -23,14 +51,16 @@ let figure2_cmd =
 
 let scenario_cmd =
   let seed_arg = Arg.(value & opt int 90 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
-  let run seed =
-    let outcome = Plwg_harness.Scenario.run ~seed () in
+  let run seed trace metrics =
+    let obs = obs_of_flags trace metrics in
+    let outcome = Plwg_harness.Scenario.run ?obs ~seed () in
     Plwg_harness.Scenario.print outcome;
-    if not outcome.Plwg_harness.Scenario.converged then exit 1
+    finish_obs ?trace ~metrics obs;
+    if not outcome.Plwg_harness.Scenario.converged || outcome.Plwg_harness.Scenario.trace_violations <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Reproduce Tables 3-4 / Figures 3-4: the partition criss-cross walkthrough.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- ablations ---------------- *)
 
@@ -61,12 +91,22 @@ let stress_cmd =
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed.") in
   let runs_arg = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"RUNS" ~doc:"Number of random schedules.") in
   let nodes_arg = Arg.(value & opt int 6 & info [ "nodes" ] ~docv:"NODES" ~doc:"Application nodes.") in
-  let run seed runs n_app =
+  let run seed runs n_app trace metrics =
     let open Plwg_sim in
     let failures = ref 0 in
+    (* One metrics registry accumulates across every schedule, but each
+       run gets its own sink so the trace checker sees one schedule at a
+       time. *)
+    let shared_metrics = Plwg_obs.Metrics.create () in
+    let trace_oc = Option.map open_out trace in
     for i = 0 to runs - 1 do
       let seed = seed + (37 * i) in
-      let stack = Plwg_harness.Stack.create ~mode:Plwg_harness.Stack.Dynamic ~seed ~n_app () in
+      let obs =
+        if trace <> None || metrics then
+          Some { Plwg_obs.sink = Plwg_obs.Sink.create (); metrics = shared_metrics }
+        else None
+      in
+      let stack = Plwg_harness.Stack.create ?obs ~mode:Plwg_harness.Stack.Dynamic ~seed ~n_app () in
       let group = Plwg.Service.fresh_gid stack.Plwg_harness.Stack.services.(0) in
       Array.iter (fun s -> Plwg.Service.join s group) stack.Plwg_harness.Stack.services;
       Plwg_harness.Stack.run stack (Time.sec 12);
@@ -87,13 +127,33 @@ let stress_cmd =
       done;
       Engine.heal stack.Plwg_harness.Stack.engine;
       Plwg_harness.Stack.run stack (Time.sec 25);
+      let trace_violations =
+        match obs with
+        | None -> []
+        | Some o ->
+            (match trace_oc with Some oc -> Plwg_obs.Sink.dump_jsonl o.Plwg_obs.sink oc | None -> ());
+            let entries = Plwg_obs.Sink.to_list o.Plwg_obs.sink in
+            let n_nodes = n_app + List.length stack.Plwg_harness.Stack.server_nodes in
+            (* reconcile order is scripted only in the scenario command;
+               random schedules merge in whatever order traffic dictates *)
+            Plwg_harness.Trace_check.check_flush_pairing ~allow_open:true entries
+            @ Plwg_harness.Trace_check.check_no_cross_partition_delivery ~n_nodes entries
+      in
       let ok =
         Plwg_harness.Stack.lwg_converged stack group
         && Plwg_vsync.Recorder.check_all stack.Plwg_harness.Stack.recorder = []
+        && trace_violations = []
       in
       Printf.printf "seed %-6d %s\n%!" seed (if ok then "ok" else "FAILED");
+      List.iter (fun v -> Printf.printf "        trace: %s\n" v) trace_violations;
       if not ok then incr failures
     done;
+    (match trace_oc with
+    | Some oc ->
+        close_out oc;
+        Printf.printf "trace: written to %s\n" (Option.get trace)
+    | None -> ());
+    if metrics then Plwg_obs.Metrics.report Format.std_formatter shared_metrics;
     if !failures > 0 then begin
       Printf.printf "%d of %d schedules failed\n" !failures runs;
       exit 1
@@ -102,7 +162,7 @@ let stress_cmd =
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Random partition/heal schedules; checks convergence and invariants.")
-    Term.(const run $ seed_arg $ runs_arg $ nodes_arg)
+    Term.(const run $ seed_arg $ runs_arg $ nodes_arg $ trace_arg $ metrics_arg)
 
 let main_cmd =
   let doc = "Partitionable Light-Weight Groups (Rodrigues & Guo, ICDCS 2000) - reproduction driver" in

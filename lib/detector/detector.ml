@@ -23,7 +23,13 @@ type t = {
   mutable subscribers : (Node_id.t -> status -> unit) list;
 }
 
-let notify t peer status = List.iter (fun subscriber -> subscriber peer status) t.subscribers
+let notify t peer status =
+  Engine.count t.engine "detector.transitions";
+  Engine.trace t.engine (fun () ->
+      Plwg_obs.Event.Peer_status { node = t.node; peer; reachable = status = Reachable });
+  (* Subscribers are stored newest-first; reverse so they fire in
+     registration order. *)
+  List.iter (fun subscriber -> subscriber peer status) (List.rev t.subscribers)
 
 let mark_reachable t peer =
   if peer <> t.node && not (Node_id.Set.mem peer t.reachable) then begin
@@ -92,4 +98,4 @@ let status t peer = if peer = t.node || Node_id.Set.mem peer t.reachable then Re
 
 let reachable_set t = Node_id.Set.add t.node t.reachable
 
-let on_change t subscriber = t.subscribers <- t.subscribers @ [ subscriber ]
+let on_change t subscriber = t.subscribers <- subscriber :: t.subscribers

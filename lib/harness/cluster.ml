@@ -6,15 +6,16 @@ module Recorder = Plwg_vsync.Recorder
 
 type t = {
   engine : Engine.t;
+  obs : Plwg_obs.t option;
   transport : Transport.t;
   detectors : Detector.t array;
   hwgs : Hwg.t array;
   recorder : Recorder.t;
 }
 
-let create ?(model = Model.default) ?(hwg_config = Hwg.default_config)
+let create ?obs ?(model = Model.default) ?(hwg_config = Hwg.default_config)
     ?(detector_config = Detector.default_config) ?(callbacks = fun _ -> Hwg.no_callbacks) ~seed ~n_nodes () =
-  let engine = Engine.create ~model ~seed ~n_nodes () in
+  let engine = Engine.create ?obs ~model ~seed ~n_nodes () in
   let transport = Transport.create engine in
   let recorder = Recorder.create () in
   let detectors = Array.init n_nodes (fun node -> Detector.create ~config:detector_config transport node) in
@@ -23,7 +24,7 @@ let create ?(model = Model.default) ?(hwg_config = Hwg.default_config)
         Hwg.create ~config:hwg_config ~recorder:(Recorder.hook recorder) ~transport ~detector:detectors.(node)
           (callbacks node) node)
   in
-  { engine; transport; detectors; hwgs; recorder }
+  { engine; obs; transport; detectors; hwgs; recorder }
 
 let run t span = Engine.run_span t.engine span
 

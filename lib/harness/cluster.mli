@@ -6,6 +6,7 @@ open Plwg_sim
 
 type t = {
   engine : Engine.t;
+  obs : Plwg_obs.t option;  (** trace sink + metrics, when attached *)
   transport : Plwg_transport.Transport.t;
   detectors : Plwg_detector.Detector.t array;
   hwgs : Plwg_vsync.Hwg.t array;
@@ -13,6 +14,7 @@ type t = {
 }
 
 val create :
+  ?obs:Plwg_obs.t ->
   ?model:Model.t ->
   ?hwg_config:Plwg_vsync.Hwg.config ->
   ?detector_config:Plwg_detector.Detector.config ->

@@ -4,7 +4,8 @@ val mean : float list -> float
 (** 0 on the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile 0.95 samples]; 0 on the empty list. *)
+(** [percentile 0.95 samples]: nearest-rank percentile (shared with
+    {!Plwg_obs.Metrics.percentile}); 0 on the empty list. *)
 
 val stddev : float list -> float
 

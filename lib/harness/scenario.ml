@@ -7,7 +7,12 @@ module Hwg = Plwg_vsync.Hwg
 
 type stage = { label : string; reached_at_ms : float; rendering : string }
 
-type outcome = { stages : stage list; converged : bool; invariant_violations : string list }
+type outcome = {
+  stages : stage list;
+  converged : bool;
+  invariant_violations : string list;
+  trace_violations : string list;  (** from {!Trace_check}; empty when run without [?obs] *)
+}
 
 let lwg_a = { Gid.seq = 1_000_001; origin = 0 }
 let lwg_b = { Gid.seq = 1_000_002; origin = 0 }
@@ -20,10 +25,10 @@ let render db = String.trim (Format.asprintf "%a" Db.pp db)
    scripted criss-cross is exactly what the naming service sees, and
    the name servers gossip slowly enough that each Table 4 stage is
    observable. *)
-let run ?(seed = 90) () =
+let run ?obs ?(seed = 90) () =
   let config = { Service.default_config with Service.policy_period = Time.sec 600 } in
   let ns_config = { Server.gossip_period = Time.ms 800 } in
-  let stack = Stack.create ~config ~ns_config ~mode:Stack.Dynamic ~seed ~n_app:4 () in
+  let stack = Stack.create ?obs ~config ~ns_config ~mode:Stack.Dynamic ~seed ~n_app:4 () in
   let services = stack.Stack.services in
   let db () = Server.db (List.hd stack.Stack.ns_servers) in
   Array.iter
@@ -101,10 +106,18 @@ let run ?(seed = 90) () =
   watching := false;
   Stack.run stack (Time.sec 2);
   if converged () then capture "4) merged LwGs" (db ());
+  let trace_violations =
+    match obs with
+    | None -> []
+    | Some o ->
+        let n_nodes = List.length stack.Stack.app_nodes + List.length stack.Stack.server_nodes in
+        Trace_check.check_all ~n_nodes (Plwg_obs.Sink.to_list o.Plwg_obs.sink)
+  in
   {
     stages = List.rev !stages;
     converged = converged ();
     invariant_violations = Plwg_vsync.Recorder.check_all stack.Stack.recorder;
+    trace_violations;
   }
 
 let print outcome =
@@ -113,5 +126,7 @@ let print outcome =
     (fun stage ->
       Printf.printf "\n-- %s (t = heal + %.0f ms)\n%s\n" stage.label stage.reached_at_ms stage.rendering)
     outcome.stages;
-  Printf.printf "\nconverged: %b; invariant violations: %d\n" outcome.converged
+  List.iter (fun v -> Printf.printf "trace violation: %s\n" v) outcome.trace_violations;
+  Printf.printf "\nconverged: %b; invariant violations: %d; trace violations: %d\n" outcome.converged
     (List.length outcome.invariant_violations)
+    (List.length outcome.trace_violations)

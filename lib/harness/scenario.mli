@@ -14,8 +14,9 @@ type outcome = {
   stages : stage list;  (** in order; a missing stage means no convergence *)
   converged : bool;
   invariant_violations : string list;
+  trace_violations : string list;  (** from {!Trace_check}; empty when run without [?obs] *)
 }
 
-val run : ?seed:int -> unit -> outcome
+val run : ?obs:Plwg_obs.t -> ?seed:int -> unit -> outcome
 
 val print : outcome -> unit

@@ -10,6 +10,7 @@ type service_mode = Direct | Static | Dynamic
 
 type t = {
   engine : Engine.t;
+  obs : Plwg_obs.t option;
   transport : Transport.t;
   detectors : Detector.t array;
   services : Service.t array;
@@ -23,13 +24,13 @@ type t = {
 
 let static_hwg = { Plwg_vsync.Types.Gid.seq = 500_000; origin = 0 }
 
-let create ?(model = Model.default) ?(seed = 42) ?(config = Service.default_config)
+let create ?obs ?(model = Model.default) ?(seed = 42) ?(config = Service.default_config)
     ?(hwg_config = Plwg_vsync.Hwg.default_config) ?(detector_config = Detector.default_config)
     ?(ns_config = Server.default_config) ?(n_servers = 2) ?(callbacks = fun _ -> Service.no_callbacks) ~mode
     ~n_app () =
   let with_servers = match mode with Dynamic -> n_servers | Direct | Static -> 0 in
   let n_nodes = n_app + with_servers in
-  let engine = Engine.create ~model ~seed ~n_nodes () in
+  let engine = Engine.create ?obs ~model ~seed ~n_nodes () in
   let transport = Transport.create engine in
   let recorder = Recorder.create () in
   let hwg_recorder = Recorder.create () in
@@ -61,7 +62,7 @@ let create ?(model = Model.default) ?(seed = 42) ?(config = Service.default_conf
           ~hwg_recorder:(Recorder.hook hwg_recorder) ~mode:service_mode ~transport ~detector:detectors.(node) ?ns
           (callbacks node) node)
   in
-  { engine; transport; detectors; services; ns_servers; ns_clients; recorder; hwg_recorder; app_nodes; server_nodes }
+  { engine; obs; transport; detectors; services; ns_servers; ns_clients; recorder; hwg_recorder; app_nodes; server_nodes }
 
 let run t span = Engine.run_span t.engine span
 

@@ -9,6 +9,7 @@ type service_mode = Direct | Static | Dynamic
 
 type t = {
   engine : Engine.t;
+  obs : Plwg_obs.t option;  (** trace sink + metrics, when attached *)
   transport : Plwg_transport.Transport.t;
   detectors : Plwg_detector.Detector.t array;  (** indexed by node id *)
   services : Plwg.Service.t array;  (** indexed by app node id, [0 .. n_app-1] *)
@@ -24,6 +25,7 @@ val static_hwg : Plwg_vsync.Types.Gid.t
 (** The designated global HWG used by [Static] mode. *)
 
 val create :
+  ?obs:Plwg_obs.t ->
   ?model:Model.t ->
   ?seed:int ->
   ?config:Plwg.Service.config ->

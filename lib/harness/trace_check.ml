@@ -1,0 +1,148 @@
+(* Trace-driven invariant checking.
+
+   The checks replay an exported trace (oldest first) and verify
+   protocol-level invariants that the in-process recorders cannot see:
+   that no application DATA crossed a partition, and that every
+   [Flush_begin] is eventually closed by a [Flush_end]. *)
+
+open Plwg_obs
+
+(* ------------------------------------------------------------------ *)
+(* Flush pairing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Flush_begin must be matched by exactly one Flush_end for the
+   same (node, group, epoch), and no Flush_end may appear without its
+   begin.  [allow_open] tolerates flushes still in progress when the
+   trace was cut (e.g. a run stopped mid-change, or a coordinator that
+   crashed and could never close its change). *)
+let check_flush_pairing ?(allow_open = false) entries =
+  let open_flushes = Hashtbl.create 32 in
+  let violations = ref [] in
+  List.iter
+    (fun { Event.at_us; event } ->
+      match event with
+      | Event.Flush_begin { node; group; epoch } ->
+          let key = (node, group, epoch) in
+          if Hashtbl.mem open_flushes key then
+            violations :=
+              Printf.sprintf "duplicate flush-begin n%d %s e%d at %dus" node group epoch at_us :: !violations
+          else Hashtbl.replace open_flushes key at_us
+      | Event.Flush_end { node; group; epoch; outcome } ->
+          let key = (node, group, epoch) in
+          if Hashtbl.mem open_flushes key then Hashtbl.remove open_flushes key
+          else
+            violations :=
+              Printf.sprintf "flush-end (%s) without begin n%d %s e%d at %dus" outcome node group epoch at_us
+              :: !violations
+      | _ -> ())
+    entries;
+  if not allow_open then
+    Hashtbl.iter
+      (fun (node, group, epoch) at_us ->
+        violations :=
+          Printf.sprintf "flush-begin never closed n%d %s e%d (opened at %dus)" node group epoch at_us :: !violations)
+      open_flushes;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* No DATA across a partition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_data kind = Event.kind_contains ~needle:"hw-data" kind
+
+(* Rebuild the component assignment over time from the Partition/Heal
+   events, then flag every application DATA delivery whose endpoints
+   were disconnected both when the message was sent and when it was
+   delivered.  A message sent while connected but delivered just after
+   a cut is the benign in-NIC race the engine permits (the segment was
+   already through the wire and queued on the destination's CPU); one
+   that was disconnected at both instants had no legitimate path. *)
+let check_no_cross_partition_delivery ~n_nodes entries =
+  let comp = Array.make n_nodes 0 in
+  (* snapshots newest-first; the initial state covers all earlier times *)
+  let snapshots = ref [ (min_int, Array.copy comp) ] in
+  let snapshot_at at =
+    let rec find = function
+      | (time, snap) :: rest -> if time <= at then snap else find rest
+      | [] -> assert false
+    in
+    find !snapshots
+  in
+  let connected_at at src dst =
+    let snap = snapshot_at at in
+    snap.(src) = snap.(dst)
+  in
+  let violations = ref [] in
+  List.iter
+    (fun { Event.at_us; event } ->
+      match event with
+      | Event.Partition_changed { classes } ->
+          List.iteri (fun class_id members -> List.iter (fun node -> comp.(node) <- class_id) members) classes;
+          snapshots := (at_us, Array.copy comp) :: !snapshots
+      | Event.Healed ->
+          Array.fill comp 0 n_nodes 0;
+          snapshots := (at_us, Array.copy comp) :: !snapshots
+      | Event.Msg_delivered { src; dst; kind; latency_us } when src <> dst && is_data kind ->
+          let sent_at = at_us - latency_us in
+          if (not (connected_at at_us src dst)) && not (connected_at sent_at src dst) then
+            violations :=
+              Printf.sprintf "DATA delivered across partition n%d -> n%d at %dus (sent %dus): %s" src dst at_us
+                sent_at kind
+              :: !violations
+      | _ -> ())
+    entries;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Reconciliation order (Section 6)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let paper_order =
+  [ Event.Global_discovery; Event.Mapping_reconciliation; Event.Local_discovery; Event.Merge_views ]
+
+(* Reconciliation in the paper's sense starts when the partition heals;
+   merges that run while the system is still partitioned (concurrent
+   views met at group setup, or a switch within one side) are ordinary
+   operation, not part of the Section-6 sequence.  Keep only the suffix
+   after the last Healed event (the whole trace if there is none). *)
+let after_last_heal entries =
+  List.fold_left
+    (fun acc ({ Event.event; _ } as entry) ->
+      match event with Event.Healed -> [] | _ -> entry :: acc)
+    [] entries
+  |> List.rev
+
+(* Reconcile steps in order of first occurrence after the last heal. *)
+let reconcile_sequence entries =
+  let seen = ref [] in
+  List.iter
+    (fun { Event.event; _ } ->
+      match event with
+      | Event.Reconcile_step { step; _ } -> if not (List.mem step !seen) then seen := step :: !seen
+      | _ -> ())
+    (after_last_heal entries);
+  List.rev !seen
+
+(* The steps that occur must first occur in the paper's order (a step
+   may be absent: e.g. a pure same-HWG partition heal skips the naming
+   steps and goes straight to local discovery). *)
+let check_reconcile_order entries =
+  let sequence = reconcile_sequence entries in
+  let rec subseq sub full =
+    match (sub, full) with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: sub', f :: full' -> if s = f then subseq sub' full' else subseq sub full'
+  in
+  if subseq sequence paper_order then []
+  else
+    [
+      Printf.sprintf "reconcile steps out of paper order: %s"
+        (String.concat " -> " (List.map Event.reconcile_step_to_string sequence));
+    ]
+
+let check_all ?allow_open ~n_nodes entries =
+  check_flush_pairing ?allow_open entries
+  @ check_no_cross_partition_delivery ~n_nodes entries
+  @ check_reconcile_order entries

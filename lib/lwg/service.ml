@@ -173,7 +173,7 @@ let ns_set_view t (l : lstate) view =
       let hwg_view = Option.map (fun v -> v.View.id) (Hwg.view_of t.hwg hwg) in
       Client.set ns
         { Db.lwg = l.lwg; lwg_view = view.View.id; members = view.View.members; hwg; hwg_view; preds }
-        ~k:(fun () -> ())
+        ~k:(fun _acked -> ())
   | _, _, _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -246,6 +246,15 @@ let install_lview t (l : lstate) view =
   l.delivered <- Node_id.Map.empty;
   l.pend_cur <- [];
   record t (Hwg.Installed { node = t.node; view });
+  Engine.count t.engine "lwg.views_installed";
+  Engine.trace t.engine (fun () ->
+      Plwg_obs.Event.View_installed
+        {
+          node = t.node;
+          group = Gid.to_string l.lwg;
+          view = Format.asprintf "%a" View_id.pp view.View.id;
+          members = view.View.members;
+        });
   t.callbacks.on_view l.lwg view;
   (* feed traffic that raced ahead of the install *)
   let early, rest = List.partition (fun (vid, _) -> View_id.equal vid view.View.id) l.pend_new in
@@ -257,8 +266,19 @@ let install_lview t (l : lstate) view =
     early;
   drain_pend_cur t l
 
+(* Close an open LWG flush, pairing its Flush_begin with a Flush_end
+   carrying [outcome].  No-op when no flush is in progress. *)
+let end_lflush t (l : lstate) ~outcome =
+  match l.flush with
+  | None -> ()
+  | Some flush ->
+      l.flush <- None;
+      Engine.trace t.engine (fun () ->
+          Plwg_obs.Event.Flush_end { node = t.node; group = Gid.to_string l.lwg; epoch = flush.lf_epoch; outcome })
+
 let remove_lstate t (l : lstate) ~installed =
   Logs.debug (fun m -> m "n%d remove_lstate %s installed=%b" t.node (Gid.to_string l.lwg) installed);
+  end_lflush t l ~outcome:"left";
   if installed then record t (Hwg.Left { node = t.node; group = l.lwg });
   Hashtbl.remove t.lstates l.lwg
 
@@ -326,6 +346,9 @@ let start_lflush t (l : lstate) ~new_members ~switch =
           };
       l.pending_joiners <- Node_id.Set.empty;
       l.pending_leavers <- Node_id.Set.empty;
+      Engine.count t.engine "lwg.flushes_started";
+      Engine.trace t.engine (fun () ->
+          Plwg_obs.Event.Flush_begin { node = t.node; group = Gid.to_string l.lwg; epoch = l.epoch });
       multicast_h t hwg (L_stop { lwg = l.lwg; epoch = l.epoch; lview = view.View.id })
   | _, _, _ -> ()
 
@@ -334,6 +357,7 @@ let start_switch t (l : lstate) target =
   | Some view when l.flush = None && l.status = L_normal ->
       Logs.debug (fun m -> m "n%d start_switch %s -> %s" t.node (Gid.to_string l.lwg) (Gid.to_string target));
       t.switches <- t.switches + 1;
+      Engine.count t.engine "lwg.switches";
       start_lflush t l ~new_members:(View.members_set view) ~switch:(Some target)
   | Some _ | None -> ()
 
@@ -348,7 +372,7 @@ let handle_lstop t (l : lstate) ~epoch ~lview =
 let finish_lflush t (l : lstate) flush =
   match (l.view, l.hwg) with
   | Some view, Some hwg ->
-      l.flush <- None;
+      end_lflush t l ~outcome:"installed";
       let members = Node_id.Set.elements flush.lf_new_members in
       (match members with
       | [] -> () (* everyone left; nothing to install *)
@@ -436,7 +460,13 @@ let handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
 
 let request_merge t carrier =
   let hs = hstate_of t carrier in
-  if not hs.sent_all_views then multicast_h t carrier L_merge_views
+  if not hs.sent_all_views then begin
+    Engine.count t.engine "lwg.local_discoveries";
+    Engine.trace t.engine (fun () ->
+        Plwg_obs.Event.Reconcile_step
+          { node = t.node; step = Plwg_obs.Event.Local_discovery; group = Gid.to_string carrier });
+    multicast_h t carrier L_merge_views
+  end
 
 let handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body =
   match lstate_of t lwg with
@@ -531,9 +561,13 @@ let compute_merges t hs hview =
                         Logs.debug (fun m -> m "n%d lwg-merge %s on %s" t.node (Gid.to_string lwg) (Gid.to_string hs.hgid));
                         List.iter (fun vid -> l.ancestors <- View_id.Set.add vid l.ancestors) preds;
                         t.merges <- t.merges + 1;
+                        Engine.count t.engine "lwg.merges";
+                        Engine.trace t.engine (fun () ->
+                            Plwg_obs.Event.Reconcile_step
+                              { node = t.node; step = Plwg_obs.Event.Merge_views; group = Gid.to_string lwg });
                         install_lview t l view;
                         l.status <- L_normal;
-                        l.flush <- None;
+                        end_lflush t l ~outcome:"superseded";
                         ns_set_view t l view;
                         drain_outbox t l
                     | Some _ | None -> ())
@@ -553,7 +587,7 @@ let shrink_check t (l : lstate) hview =
       if not (Node_id.Set.subset members present) then begin
         (* survivors compute the same shrunken view without messages:
            the HWG flush already synchronised delivery *)
-        l.flush <- None;
+        end_lflush t l ~outcome:"superseded";
         match Node_id.Set.elements (Node_id.Set.inter members present) with
         | [] -> ()
         | coord :: _ as member_list ->
@@ -570,14 +604,13 @@ let shrink_check t (l : lstate) hview =
   | _, _ -> ()
 
 let abort_stale_flush t (l : lstate) hview =
-  ignore t;
   match l.flush with
   | Some flush ->
       let present = View.members_set hview in
       if
         (not (Node_id.Set.subset flush.lf_old_members present))
         || not (Node_id.Set.subset flush.lf_new_members present)
-      then l.flush <- None
+      then end_lflush t l ~outcome:"aborted"
   | None -> ()
 
 let handle_hwg_view t hgid hview =
@@ -768,6 +801,10 @@ let handle_multiple_mappings t lwg entries =
       | L_normal, Some view, Some target
         when lwg_coordinator view = t.node && l.flush = None && l.hwg <> Some target.Db.hwg ->
           Logs.debug (fun m -> m "n%d multiple-mappings switch %s" t.node (Gid.to_string lwg));
+          Engine.count t.engine "lwg.mapping_reconciliations";
+          Engine.trace t.engine (fun () ->
+              Plwg_obs.Event.Reconcile_step
+                { node = t.node; step = Plwg_obs.Event.Mapping_reconciliation; group = Gid.to_string lwg });
           start_switch t l target.Db.hwg
       | _, _, _ -> ())
   | None -> ()
@@ -805,8 +842,29 @@ let run_policies_now t =
                       ~hwg:(hgid, hwg_members) ~candidates:others
                   with
                   | `Stay -> ()
-                  | `Switch_to target -> start_switch t l target
-                  | `Create_new -> start_switch t l (Hwg.fresh_gid t.hwg))
+                  | `Switch_to target ->
+                      Engine.count t.engine "policy.interference";
+                      Engine.trace t.engine (fun () ->
+                          Plwg_obs.Event.Policy_decision
+                            {
+                              node = t.node;
+                              rule = "interference";
+                              subject = Gid.to_string l.lwg;
+                              decision = "switch-to " ^ Gid.to_string target;
+                            });
+                      start_switch t l target
+                  | `Create_new ->
+                      let target = Hwg.fresh_gid t.hwg in
+                      Engine.count t.engine "policy.interference";
+                      Engine.trace t.engine (fun () ->
+                          Plwg_obs.Event.Policy_decision
+                            {
+                              node = t.node;
+                              rule = "interference";
+                              subject = Gid.to_string l.lwg;
+                              decision = "create-new " ^ Gid.to_string target;
+                            });
+                      start_switch t l target)
               | None -> ())
           | _, _, _ -> ())
         t.lstates;
@@ -821,6 +879,15 @@ let run_policies_now t =
           | `Keep -> ()
           | `Collapse_into winner ->
               let loser = if Gid.equal winner g1 then g2 else g1 in
+              Engine.count t.engine "policy.share";
+              Engine.trace t.engine (fun () ->
+                  Plwg_obs.Event.Policy_decision
+                    {
+                      node = t.node;
+                      rule = "share";
+                      subject = Gid.to_string loser;
+                      decision = "collapse-into " ^ Gid.to_string winner;
+                    });
               Hashtbl.iter
                 (fun _ (l : lstate) ->
                   match (l.status, l.view, l.hwg) with
@@ -846,6 +913,10 @@ let run_policies_now t =
         t.hstates;
       List.iter
         (fun hgid ->
+          Engine.count t.engine "policy.shrink";
+          Engine.trace t.engine (fun () ->
+              Plwg_obs.Event.Policy_decision
+                { node = t.node; rule = "shrink"; subject = Gid.to_string hgid; decision = "leave-hwg" });
           Hwg.leave t.hwg hgid;
           Hashtbl.remove t.hstates hgid)
         !to_leave

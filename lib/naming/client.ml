@@ -8,11 +8,12 @@ type config = { request_timeout : Time.span; max_attempts : int }
 
 let default_config = { request_timeout = Time.ms 800; max_attempts = 6 }
 
-type reply = Entries of (Db.entry list -> unit) | Ack of (unit -> unit)
+type reply = Entries of (Db.entry list -> unit) | Ack of (bool -> unit)
 
 type pending = {
   make : int -> Payload.t; (* request payload for a given req id *)
   reply : reply;
+  started : Time.t;
   mutable attempt : int;
   mutable timer : Engine.cancel;
 }
@@ -37,23 +38,36 @@ let pick_server t ~attempt =
   | [] -> None
   | _ -> Some (List.nth pool (attempt mod List.length pool))
 
+(* The request is unanswerable: tell the caller so.  Reconciliation
+   paths block on these continuations, so dropping the request silently
+   (as this code once did) left them waiting forever. *)
+let give_up t req p =
+  Hashtbl.remove t.pending req;
+  Engine.count t.engine "ns.give_ups";
+  Engine.trace t.engine (fun () -> Plwg_obs.Event.Ns_give_up { node = t.node; req; attempts = p.attempt });
+  match p.reply with Entries k -> k [] | Ack k -> k false
+
 let rec transmit t req p =
   match pick_server t ~attempt:p.attempt with
-  | None -> Hashtbl.remove t.pending req (* no servers configured *)
+  | None -> give_up t req p (* no servers configured *)
   | Some server ->
+      Engine.count t.engine (if p.attempt = 0 then "ns.requests" else "ns.retries");
+      Engine.trace t.engine (fun () ->
+          let op = Plwg_obs.Event.kind_prefix (Payload.to_string (p.make req)) in
+          if p.attempt = 0 then Plwg_obs.Event.Ns_request { node = t.node; req; op; server }
+          else Plwg_obs.Event.Ns_retry { node = t.node; req; attempt = p.attempt; server });
       Transport.send t.endpoint ~dst:server (p.make req);
       p.timer <-
         Engine.after_node t.engine t.node t.config.request_timeout (fun () ->
             if Hashtbl.mem t.pending req then begin
               p.attempt <- p.attempt + 1;
-              if p.attempt >= t.config.max_attempts then Hashtbl.remove t.pending req
-              else transmit t req p
+              if p.attempt >= t.config.max_attempts then give_up t req p else transmit t req p
             end)
 
 let request t make reply =
   let req = t.next_req in
   t.next_req <- req + 1;
-  let p = { make; reply; attempt = 0; timer = (fun () -> ()) } in
+  let p = { make; reply; started = Engine.now t.engine; attempt = 0; timer = (fun () -> ()) } in
   Hashtbl.replace t.pending req p;
   transmit t req p
 
@@ -63,22 +77,32 @@ let read t lwg ~k = request t (fun req -> Ns_read { req; from = t.node; lwg }) (
 
 let test_and_set t entry ~k = request t (fun req -> Ns_testset { req; from = t.node; entry }) (Entries k)
 
-let on_multiple_mappings t handler = t.mm_handlers <- t.mm_handlers @ [ handler ]
+(* Handlers are stored newest-first; [handle] reverses, preserving
+   registration order without a quadratic append. *)
+let on_multiple_mappings t handler = t.mm_handlers <- handler :: t.mm_handlers
 
 let settle t req k =
   match Hashtbl.find_opt t.pending req with
   | Some p ->
       p.timer ();
       Hashtbl.remove t.pending req;
+      let rtt = Time.diff (Engine.now t.engine) p.started in
+      Engine.trace t.engine (fun () -> Plwg_obs.Event.Ns_reply { node = t.node; req; rtt_us = rtt });
+      Engine.observe t.engine "ns.rtt_us" (float_of_int rtt);
       k p
   | None -> ()
 
 let handle t payload =
   match payload with
   | Ns_reply { req; entries } ->
-      settle t req (fun p -> match p.reply with Entries k -> k entries | Ack k -> k ())
-  | Ns_ack { req } -> settle t req (fun p -> match p.reply with Ack k -> k () | Entries k -> k [])
-  | Ns_multiple_mappings { lwg; entries } -> List.iter (fun handler -> handler lwg entries) t.mm_handlers
+      settle t req (fun p -> match p.reply with Entries k -> k entries | Ack k -> k true)
+  | Ns_ack { req } -> settle t req (fun p -> match p.reply with Ack k -> k true | Entries k -> k [])
+  | Ns_multiple_mappings { lwg; entries } ->
+      Engine.count t.engine "ns.multiple_mappings";
+      Engine.trace t.engine (fun () ->
+          Plwg_obs.Event.Reconcile_step
+            { node = t.node; step = Plwg_obs.Event.Global_discovery; group = Gid.to_string lwg });
+      List.iter (fun handler -> handler lwg entries) (List.rev t.mm_handlers)
   | _ -> ()
 
 let create ?(config = default_config) ~transport ~detector ~servers node =

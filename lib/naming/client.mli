@@ -5,7 +5,14 @@
     replica (per its failure detector) and retries on timeout against
     the next one, so requests survive replica crashes and partitions as
     long as one replica is reachable — mirroring the paper's placement
-    assumption of "at least one server available in each partition". *)
+    assumption of "at least one server available in each partition".
+
+    Every request terminates: once [max_attempts] time out (or no
+    replica is configured) the client gives up and invokes the
+    continuation with an explicit failure — [false] for [set], the
+    empty entry list for [read]/[test_and_set] — and emits an
+    [Ns_give_up] trace event.  Callers never hang on a dead naming
+    service. *)
 
 open Plwg_sim
 open Plwg_vsync.Types
@@ -24,15 +31,17 @@ val create :
   Node_id.t ->
   t
 
-val set : t -> Db.entry -> k:(unit -> unit) -> unit
-(** [ns.set]: store a view-level mapping (retiring its predecessors). *)
+val set : t -> Db.entry -> k:(bool -> unit) -> unit
+(** [ns.set]: store a view-level mapping (retiring its predecessors).
+    The continuation receives [true] on ack, [false] on give-up. *)
 
 val read : t -> Gid.t -> k:(Db.entry list -> unit) -> unit
-(** [ns.read]: live entries for a LWG (empty if unknown). *)
+(** [ns.read]: live entries for a LWG (empty if unknown or on
+    give-up). *)
 
 val test_and_set : t -> Db.entry -> k:(Db.entry list -> unit) -> unit
 (** [ns.testset]: return the current mapping, or install [entry] if
-    there is none. *)
+    there is none.  Empty on give-up. *)
 
 val on_multiple_mappings : t -> (Gid.t -> Db.entry list -> unit) -> unit
 (** Subscribe to the server-initiated inconsistency callbacks. *)

@@ -27,6 +27,9 @@ let db t = t.db
 let notify_conflicts t =
   List.iter
     (fun lwg ->
+      Engine.count t.engine "ns.conflicts_notified";
+      Engine.trace t.engine (fun () ->
+          Plwg_obs.Event.Ns_conflict { server = t.node; lwg = Plwg_vsync.Types.Gid.to_string lwg });
       let entries = Db.read t.db lwg in
       let targets =
         List.sort_uniq Node_id.compare (List.concat_map (fun e -> e.Db.members) entries)
@@ -35,6 +38,7 @@ let notify_conflicts t =
     (Db.conflicts t.db)
 
 let gossip t =
+  Engine.count t.engine "ns.gossip_rounds";
   let reachable = Detector.reachable_set t.detector in
   List.iter
     (fun peer ->

@@ -1,0 +1,166 @@
+(* Typed trace events.  This module sits below the simulator in the
+   dependency order, so node ids, timestamps and group ids appear here
+   as plain [int]s / [string]s rather than as their abstract types. *)
+
+type reconcile_step =
+  | Global_discovery  (** step 1: naming service reports MULTIPLE-MAPPINGS *)
+  | Mapping_reconciliation  (** step 2: coordinator switches to the highest HWG *)
+  | Local_discovery  (** step 3: peers exchange concurrent views on the carrier *)
+  | Merge_views  (** step 4: concurrent views fuse in one flush *)
+
+let reconcile_step_to_string = function
+  | Global_discovery -> "global-discovery"
+  | Mapping_reconciliation -> "mapping-reconciliation"
+  | Local_discovery -> "local-discovery"
+  | Merge_views -> "merge-views"
+
+let reconcile_step_of_string = function
+  | "global-discovery" -> Global_discovery
+  | "mapping-reconciliation" -> Mapping_reconciliation
+  | "local-discovery" -> Local_discovery
+  | "merge-views" -> Merge_views
+  | other -> invalid_arg ("Event.reconcile_step_of_string: " ^ other)
+
+type t =
+  | Msg_sent of { src : int; dst : int; kind : string }
+  | Msg_delivered of { src : int; dst : int; kind : string; latency_us : int }
+  | Msg_dropped of { src : int; dst : int; kind : string; reason : string }
+  | View_installed of { node : int; group : string; view : string; members : int list }
+  | Flush_begin of { node : int; group : string; epoch : int }
+  | Flush_end of { node : int; group : string; epoch : int; outcome : string }
+  | Ns_request of { node : int; req : int; op : string; server : int }
+  | Ns_reply of { node : int; req : int; rtt_us : int }
+  | Ns_retry of { node : int; req : int; attempt : int; server : int }
+  | Ns_give_up of { node : int; req : int; attempts : int }
+  | Ns_conflict of { server : int; lwg : string }
+  | Policy_decision of { node : int; rule : string; subject : string; decision : string }
+  | Reconcile_step of { node : int; step : reconcile_step; group : string }
+  | Peer_status of { node : int; peer : int; reachable : bool }
+  | Partition_changed of { classes : int list list }
+  | Healed
+  | Node_crashed of { node : int }
+  | Node_recovered of { node : int }
+
+type entry = { at_us : int; event : t }
+
+(* The leading identifier before the first '(' of a payload rendering,
+   e.g. "seg" for "seg(c3,#12,hw-data(...))".  Shared by the trace
+   checker and the per-phase breakdowns. *)
+let kind_prefix kind =
+  match String.index_opt kind '(' with Some i -> String.sub kind 0 i | None -> kind
+
+(* Substring test used to classify application DATA traffic. *)
+let kind_contains ~needle kind =
+  let nk = String.length needle and nh = String.length kind in
+  let rec scan i = i + nk <= nh && (String.sub kind i nk = needle || scan (i + 1)) in
+  nk = 0 || scan 0
+
+let type_name = function
+  | Msg_sent _ -> "msg-sent"
+  | Msg_delivered _ -> "msg-delivered"
+  | Msg_dropped _ -> "msg-dropped"
+  | View_installed _ -> "view-installed"
+  | Flush_begin _ -> "flush-begin"
+  | Flush_end _ -> "flush-end"
+  | Ns_request _ -> "ns-request"
+  | Ns_reply _ -> "ns-reply"
+  | Ns_retry _ -> "ns-retry"
+  | Ns_give_up _ -> "ns-give-up"
+  | Ns_conflict _ -> "ns-conflict"
+  | Policy_decision _ -> "policy-decision"
+  | Reconcile_step _ -> "reconcile-step"
+  | Peer_status _ -> "peer-status"
+  | Partition_changed _ -> "partition-changed"
+  | Healed -> "healed"
+  | Node_crashed _ -> "node-crashed"
+  | Node_recovered _ -> "node-recovered"
+
+let to_json { at_us; event } =
+  let base = [ ("at_us", Json.Int at_us); ("type", Json.Str (type_name event)) ] in
+  let fields =
+    match event with
+    | Msg_sent { src; dst; kind } -> [ ("src", Json.Int src); ("dst", Json.Int dst); ("kind", Json.Str kind) ]
+    | Msg_delivered { src; dst; kind; latency_us } ->
+        [ ("src", Json.Int src); ("dst", Json.Int dst); ("kind", Json.Str kind); ("latency_us", Json.Int latency_us) ]
+    | Msg_dropped { src; dst; kind; reason } ->
+        [ ("src", Json.Int src); ("dst", Json.Int dst); ("kind", Json.Str kind); ("reason", Json.Str reason) ]
+    | View_installed { node; group; view; members } ->
+        [
+          ("node", Json.Int node);
+          ("group", Json.Str group);
+          ("view", Json.Str view);
+          ("members", Json.List (List.map (fun m -> Json.Int m) members));
+        ]
+    | Flush_begin { node; group; epoch } ->
+        [ ("node", Json.Int node); ("group", Json.Str group); ("epoch", Json.Int epoch) ]
+    | Flush_end { node; group; epoch; outcome } ->
+        [ ("node", Json.Int node); ("group", Json.Str group); ("epoch", Json.Int epoch); ("outcome", Json.Str outcome) ]
+    | Ns_request { node; req; op; server } ->
+        [ ("node", Json.Int node); ("req", Json.Int req); ("op", Json.Str op); ("server", Json.Int server) ]
+    | Ns_reply { node; req; rtt_us } -> [ ("node", Json.Int node); ("req", Json.Int req); ("rtt_us", Json.Int rtt_us) ]
+    | Ns_retry { node; req; attempt; server } ->
+        [ ("node", Json.Int node); ("req", Json.Int req); ("attempt", Json.Int attempt); ("server", Json.Int server) ]
+    | Ns_give_up { node; req; attempts } ->
+        [ ("node", Json.Int node); ("req", Json.Int req); ("attempts", Json.Int attempts) ]
+    | Ns_conflict { server; lwg } -> [ ("server", Json.Int server); ("lwg", Json.Str lwg) ]
+    | Policy_decision { node; rule; subject; decision } ->
+        [
+          ("node", Json.Int node); ("rule", Json.Str rule); ("subject", Json.Str subject); ("decision", Json.Str decision);
+        ]
+    | Reconcile_step { node; step; group } ->
+        [ ("node", Json.Int node); ("step", Json.Str (reconcile_step_to_string step)); ("group", Json.Str group) ]
+    | Peer_status { node; peer; reachable } ->
+        [ ("node", Json.Int node); ("peer", Json.Int peer); ("reachable", Json.Bool reachable) ]
+    | Partition_changed { classes } ->
+        [ ("classes", Json.List (List.map (fun cls -> Json.List (List.map (fun m -> Json.Int m) cls)) classes)) ]
+    | Healed -> []
+    | Node_crashed { node } -> [ ("node", Json.Int node) ]
+    | Node_recovered { node } -> [ ("node", Json.Int node) ]
+  in
+  Json.Obj (base @ fields)
+
+let of_json json =
+  let int key = Json.to_int (Json.member key json) in
+  let str key = Json.to_str (Json.member key json) in
+  let at_us = int "at_us" in
+  let event =
+    match str "type" with
+    | "msg-sent" -> Msg_sent { src = int "src"; dst = int "dst"; kind = str "kind" }
+    | "msg-delivered" ->
+        Msg_delivered { src = int "src"; dst = int "dst"; kind = str "kind"; latency_us = int "latency_us" }
+    | "msg-dropped" -> Msg_dropped { src = int "src"; dst = int "dst"; kind = str "kind"; reason = str "reason" }
+    | "view-installed" ->
+        View_installed
+          {
+            node = int "node";
+            group = str "group";
+            view = str "view";
+            members = List.map Json.to_int (Json.to_list (Json.member "members" json));
+          }
+    | "flush-begin" -> Flush_begin { node = int "node"; group = str "group"; epoch = int "epoch" }
+    | "flush-end" -> Flush_end { node = int "node"; group = str "group"; epoch = int "epoch"; outcome = str "outcome" }
+    | "ns-request" -> Ns_request { node = int "node"; req = int "req"; op = str "op"; server = int "server" }
+    | "ns-reply" -> Ns_reply { node = int "node"; req = int "req"; rtt_us = int "rtt_us" }
+    | "ns-retry" -> Ns_retry { node = int "node"; req = int "req"; attempt = int "attempt"; server = int "server" }
+    | "ns-give-up" -> Ns_give_up { node = int "node"; req = int "req"; attempts = int "attempts" }
+    | "ns-conflict" -> Ns_conflict { server = int "server"; lwg = str "lwg" }
+    | "policy-decision" ->
+        Policy_decision { node = int "node"; rule = str "rule"; subject = str "subject"; decision = str "decision" }
+    | "reconcile-step" ->
+        Reconcile_step { node = int "node"; step = reconcile_step_of_string (str "step"); group = str "group" }
+    | "peer-status" ->
+        Peer_status { node = int "node"; peer = int "peer"; reachable = Json.to_bool (Json.member "reachable" json) }
+    | "partition-changed" ->
+        Partition_changed
+          {
+            classes =
+              List.map (fun cls -> List.map Json.to_int (Json.to_list cls)) (Json.to_list (Json.member "classes" json));
+          }
+    | "healed" -> Healed
+    | "node-crashed" -> Node_crashed { node = int "node" }
+    | "node-recovered" -> Node_recovered { node = int "node" }
+    | other -> invalid_arg ("Event.of_json: unknown type " ^ other)
+  in
+  { at_us; event }
+
+let pp ppf entry = Format.pp_print_string ppf (Json.to_string (to_json entry))

@@ -1,0 +1,225 @@
+(* A deliberately small JSON value type with printer and parser, enough
+   for trace export/import without pulling in an external dependency.
+   Numbers are restricted to integers: every quantity we trace
+   (timestamps, node ids, latencies) is integral. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Str s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf key;
+          Buffer.add_char buf ':';
+          to_buffer buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 128 in
+  to_buffer buf json;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun message -> raise (Parse_error message)) fmt
+
+(* Recursive-descent parser over a string. *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> parse_error "expected %c at %d, got %c" c !pos got
+    | None -> parse_error "expected %c at %d, got end of input" c !pos
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then (
+      pos := !pos + len;
+      value)
+    else parse_error "bad literal at %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> parse_error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+              Buffer.add_char buf '"';
+              advance ();
+              loop ()
+          | Some '\\' ->
+              Buffer.add_char buf '\\';
+              advance ();
+              loop ()
+          | Some '/' ->
+              Buffer.add_char buf '/';
+              advance ();
+              loop ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              loop ()
+          | Some 'r' ->
+              Buffer.add_char buf '\r';
+              advance ();
+              loop ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              loop ()
+          | Some 'b' ->
+              Buffer.add_char buf '\b';
+              advance ();
+              loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then parse_error "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* We only ever emit \u for control characters; anything
+                 else decodes lossily to '?'. *)
+              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+              loop ()
+          | _ -> parse_error "bad escape at %d" !pos)
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') ->
+          advance ();
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then parse_error "expected number at %d" start;
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          List [])
+        else
+          let rec items acc =
+            let item = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (item :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (item :: acc)
+            | _ -> parse_error "expected , or ] at %d" !pos
+          in
+          List (items [])
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((key, value) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, value) :: acc))
+            | _ -> parse_error "expected , or } at %d" !pos
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> Int (parse_int ())
+    | Some c -> parse_error "unexpected %c at %d" c !pos
+    | None -> parse_error "unexpected end of input"
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_error "trailing garbage at %d" !pos;
+  value
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_int = function Int i -> i | other -> parse_error "expected int, got %s" (to_string other)
+let to_str = function Str s -> s | other -> parse_error "expected string, got %s" (to_string other)
+let to_bool = function Bool b -> b | other -> parse_error "expected bool, got %s" (to_string other)
+let to_list = function List l -> l | other -> parse_error "expected list, got %s" (to_string other)

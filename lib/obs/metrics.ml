@@ -1,0 +1,114 @@
+(* Lightweight metrics registry: named counters and histograms.  A
+   histogram keeps a bounded reservoir of samples; percentile queries
+   use the nearest-rank method.
+
+   Nearest-rank: for sorted samples x_1 <= ... <= x_n, the p-th
+   percentile is x_k with k = ceil(p * n), clamped to [1, n].  Unlike
+   the truncating [int_of_float (p *. float (n - 1))] it replaces, this
+   never under-reports the tail: p99 of 10 samples is the maximum. *)
+
+let percentile p samples =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      List.nth sorted (rank - 1)
+
+type histogram = {
+  reservoir : float array;
+  mutable h_count : int;
+  mutable sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let reservoir_size = 4096
+
+(* Deterministic reservoir sampling: once full, sample i replaces slot
+   (i * 2654435761) mod size with probability size/i by comparing the
+   hash-derived position against i.  Deterministic so simulation runs
+   stay reproducible (no wall-clock or global RNG). *)
+let observe_hist h v =
+  let i = h.h_count in
+  h.h_count <- i + 1;
+  h.sum <- h.sum +. v;
+  if i = 0 then (
+    h.h_min <- v;
+    h.h_max <- v)
+  else (
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v);
+  let size = Array.length h.reservoir in
+  if i < size then h.reservoir.(i) <- v
+  else
+    let slot = (i * 2654435761) land max_int mod (i + 1) in
+    if slot < size then h.reservoir.(slot) <- v
+
+type summary = { count : int; mean : float; min : float; max : float; p50 : float; p95 : float; p99 : float }
+
+type t = { counters : (string, int ref) Hashtbl.t; histograms : (string, histogram) Hashtbl.t }
+
+let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some cell -> cell := !cell + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some cell -> !cell | None -> 0
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h = { reservoir = Array.make reservoir_size 0.0; h_count = 0; sum = 0.0; h_min = 0.0; h_max = 0.0 } in
+        Hashtbl.add t.histograms name h;
+        h
+  in
+  observe_hist h v
+
+let samples_of h = Array.to_list (Array.sub h.reservoir 0 (min h.h_count (Array.length h.reservoir)))
+
+let summary t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h when h.h_count = 0 -> None
+  | Some h ->
+      let samples = samples_of h in
+      Some
+        {
+          count = h.h_count;
+          mean = h.sum /. float_of_int h.h_count;
+          min = h.h_min;
+          max = h.h_max;
+          p50 = percentile 0.50 samples;
+          p95 = percentile 0.95 samples;
+          p99 = percentile 0.99 samples;
+        }
+
+let counters t =
+  Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t.counters [] |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.histograms [] |> List.sort compare
+
+let report ppf t =
+  let cs = counters t in
+  if cs <> [] then (
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %d@." name v) cs);
+  let hs = histogram_names t in
+  if hs <> [] then (
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun name ->
+        match summary t name with
+        | None -> ()
+        | Some s ->
+            Format.fprintf ppf "  %-36s n=%-7d mean=%-10.1f p50=%-10.1f p95=%-10.1f p99=%-10.1f max=%.1f@." name
+              s.count s.mean s.p50 s.p95 s.p99 s.max)
+      hs)

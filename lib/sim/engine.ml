@@ -9,8 +9,12 @@ type t = {
   model : Model.t;
   rng : Plwg_util.Rng.t;
   queue : event Plwg_util.Heap.t;
+  obs : Plwg_obs.t option;
   mutable now : Time.t;
   mutable next_seq : int;
+  (* Handlers are stored newest-first; [dispatch] reverses, so they
+     still fire in subscription order without the quadratic [@ [h]]
+     append that registration used to pay. *)
   handlers : (src:Node_id.t -> Payload.t -> unit) list array;
   busy_until : Time.t array;
   mutable sent : int;
@@ -23,12 +27,13 @@ let compare_event a b =
   let c = Time.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(model = Model.default) ~seed ~n_nodes () =
+let create ?obs ?(model = Model.default) ~seed ~n_nodes () =
   {
     topology = Topology.create ~n_nodes;
     model;
     rng = Plwg_util.Rng.create ~seed;
     queue = Plwg_util.Heap.create ~cmp:compare_event;
+    obs;
     now = Time.zero;
     next_seq = 0;
     handlers = Array.make n_nodes [];
@@ -43,50 +48,79 @@ let topology t = t.topology
 let model t = t.model
 let now t = t.now
 let rng t = t.rng
+let obs t = t.obs
+
+(* Instrumentation entry points.  The event is built inside a thunk so
+   that when no sink is attached nothing is allocated or rendered. *)
+let trace t make = match t.obs with None -> () | Some o -> Plwg_obs.Sink.emit o.Plwg_obs.sink ~at_us:t.now (make ())
+let count ?by t name = match t.obs with None -> () | Some o -> Plwg_obs.Metrics.incr ?by o.Plwg_obs.metrics name
+let observe t name v = match t.obs with None -> () | Some o -> Plwg_obs.Metrics.observe o.Plwg_obs.metrics name v
 
 let schedule t time action =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Plwg_util.Heap.push t.queue { time; seq; action }
 
-let subscribe t node handler = t.handlers.(node) <- t.handlers.(node) @ [ handler ]
+let subscribe t node handler = t.handlers.(node) <- handler :: t.handlers.(node)
 
-let dispatch t ~src ~dst payload =
+let dispatch t ~sent_at ~src ~dst payload =
   if Topology.is_alive t.topology dst then begin
     t.delivered <- t.delivered + 1;
-    List.iter (fun handler -> handler ~src payload) t.handlers.(dst)
+    count t "engine.delivered";
+    trace t (fun () ->
+        Plwg_obs.Event.Msg_delivered
+          { src; dst; kind = Payload.to_string payload; latency_us = Time.diff t.now sent_at });
+    observe t "engine.delivery_latency_us" (float_of_int (Time.diff t.now sent_at));
+    List.iter (fun handler -> handler ~src payload) (List.rev t.handlers.(dst))
   end
 
 (* A message that reached [dst]'s network interface queues through its
    CPU: service is FIFO and each message costs [proc_time]. *)
-let enqueue_cpu t ~src ~dst payload =
+let enqueue_cpu t ~sent_at ~src ~dst payload =
   let start = max t.now t.busy_until.(dst) in
   let finish = Time.add start t.model.Model.proc_time in
   t.busy_until.(dst) <- finish;
-  schedule t finish (fun () -> dispatch t ~src ~dst payload)
+  schedule t finish (fun () -> dispatch t ~sent_at ~src ~dst payload)
+
+let drop t ~src ~dst ~reason payload =
+  trace t (fun () -> Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason });
+  count t ("engine.dropped." ^ reason)
 
 let send t ~src ~dst payload =
   if Topology.is_alive t.topology src then
     if src = dst then begin
       t.sent <- t.sent + 1;
-      enqueue_cpu t ~src ~dst payload
+      count t "engine.sent";
+      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+      enqueue_cpu t ~sent_at:t.now ~src ~dst payload
     end
-    else if not (Topology.reachable t.topology src dst) then
-      t.unreachable_dropped <- t.unreachable_dropped + 1
+    else if not (Topology.reachable t.topology src dst) then begin
+      t.unreachable_dropped <- t.unreachable_dropped + 1;
+      drop t ~src ~dst ~reason:"unreachable" payload
+    end
     else if t.model.Model.drop_prob > 0.0 && Plwg_util.Rng.bernoulli t.rng t.model.Model.drop_prob then begin
       t.sent <- t.sent + 1;
-      t.wire_dropped <- t.wire_dropped + 1
+      t.wire_dropped <- t.wire_dropped + 1;
+      count t "engine.sent";
+      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+      drop t ~src ~dst ~reason:"wire" payload
     end
     else begin
       t.sent <- t.sent + 1;
+      count t "engine.sent";
+      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
       let jitter =
         if t.model.Model.link_jitter = 0 then 0 else Plwg_util.Rng.int t.rng (t.model.Model.link_jitter + 1)
       in
+      let sent_at = t.now in
       let arrival = Time.add t.now (t.model.Model.link_base + jitter) in
       let deliver () =
         (* A partition installed while the message was in flight cuts it. *)
-        if Topology.reachable t.topology src dst then enqueue_cpu t ~src ~dst payload
-        else t.unreachable_dropped <- t.unreachable_dropped + 1
+        if Topology.reachable t.topology src dst then enqueue_cpu t ~sent_at ~src ~dst payload
+        else begin
+          t.unreachable_dropped <- t.unreachable_dropped + 1;
+          drop t ~src ~dst ~reason:"cut" payload
+        end
       in
       schedule t arrival deliver
     end
@@ -105,11 +139,24 @@ let after_node t node span action =
 
 let crash t node =
   Topology.crash t.topology node;
-  t.busy_until.(node) <- t.now
+  t.busy_until.(node) <- t.now;
+  count t "engine.crashes";
+  trace t (fun () -> Plwg_obs.Event.Node_crashed { node })
 
-let recover t node = Topology.recover t.topology node
-let set_partition t classes = Topology.set_partition t.topology classes
-let heal t = Topology.heal t.topology
+let recover t node =
+  Topology.recover t.topology node;
+  count t "engine.recoveries";
+  trace t (fun () -> Plwg_obs.Event.Node_recovered { node })
+
+let set_partition t classes =
+  Topology.set_partition t.topology classes;
+  count t "engine.partitions";
+  trace t (fun () -> Plwg_obs.Event.Partition_changed { classes })
+
+let heal t =
+  Topology.heal t.topology;
+  count t "engine.heals";
+  trace t (fun () -> Plwg_obs.Event.Healed)
 
 let run t ~until =
   let rec loop () =
@@ -136,7 +183,10 @@ let run_until_idle ?(limit = Time.sec 3600) t =
         loop ()
     | Some _ | None -> ()
   in
-  loop ()
+  loop ();
+  (* Like [run], leave [now] at the horizon we simulated up to, so the
+     two drivers agree on what [Engine.now] means afterwards. *)
+  t.now <- max t.now limit
 
 let stats t =
   { sent = t.sent; delivered = t.delivered; wire_dropped = t.wire_dropped; unreachable_dropped = t.unreachable_dropped }

@@ -16,11 +16,28 @@ type t
 type cancel = unit -> unit
 (** Cancels a pending timer; idempotent. *)
 
-val create : ?model:Model.t -> seed:int -> n_nodes:int -> unit -> t
+val create : ?obs:Plwg_obs.t -> ?model:Model.t -> seed:int -> n_nodes:int -> unit -> t
+(** [?obs] attaches an observability root (trace sink + metrics
+    registry).  Without it, every instrumentation site in the stack is a
+    single branch on [None]. *)
 
 val topology : t -> Topology.t
 val model : t -> Model.t
 val now : t -> Time.t
+
+val obs : t -> Plwg_obs.t option
+
+val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
+(** Emit a trace event stamped with the current simulated time.  The
+    thunk is only forced when a sink is attached, so callers may build
+    the event (and render payloads) inside it at zero cost otherwise. *)
+
+val count : ?by:int -> t -> string -> unit
+(** Bump a named metrics counter (no-op without [?obs]). *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample into a named metrics histogram (no-op without
+    [?obs]). *)
 
 val rng : t -> Plwg_util.Rng.t
 (** The engine's root generator.  Layers should [Rng.split] it once at
@@ -64,8 +81,8 @@ val run_span : t -> Time.span -> unit
 
 val run_until_idle : ?limit:Time.t -> t -> unit
 (** Execute until the queue drains or simulated time would pass [limit]
-    (default 1 hour).  Periodic protocol timers never drain, so most
-    callers want [run]. *)
+    (default 1 hour); afterwards [now] = [limit], mirroring [run].
+    Periodic protocol timers never drain, so most callers want [run]. *)
 
 type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
 

@@ -54,7 +54,9 @@ let create ?(config = default_config) engine =
 
 let engine t = t.fabric_engine
 
-let deliver ep ~src body = List.iter (fun handler -> handler ~src body) ep.handlers
+(* Handlers are stored newest-first; reverse so they fire in
+   registration order. *)
+let deliver ep ~src body = List.iter (fun handler -> handler ~src body) (List.rev ep.handlers)
 
 let ack_delay = Time.ms 5
 
@@ -109,7 +111,14 @@ let on_seg ep ~src ~conn ~seq body =
   end
 (* conn < ic.in_id: stale fragment of an abandoned connection; drop. *)
 
-let reset_out ep oc =
+let reset_out ep ~dst oc =
+  Engine.count ep.engine "transport.conn_resets";
+  List.iter
+    (fun (_, body) ->
+      Engine.trace ep.engine (fun () ->
+          Plwg_obs.Event.Msg_dropped
+            { src = ep.node; dst; kind = Payload.to_string body; reason = "conn-reset" }))
+    oc.unacked;
   (match oc.timer with Some cancel -> cancel () | None -> ());
   ep.conn_counter <- ep.conn_counter + 1;
   oc.out_id <- ep.conn_counter;
@@ -127,12 +136,13 @@ let rec arm_timer ep ~dst oc =
     oc.timer <- None;
     if oc.unacked <> [] then begin
       oc.retries <- oc.retries + 1;
-      if oc.retries > ep.config.give_up_after then reset_out ep oc
+      if oc.retries > ep.config.give_up_after then reset_out ep ~dst oc
       else begin
         let rec resend count = function
           | [] -> ()
           | (seq, body) :: rest ->
               if count < retransmit_batch then begin
+                Engine.count ep.engine "transport.retransmits";
                 Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
                 resend (count + 1) rest
               end
@@ -219,7 +229,7 @@ let send ep ~dst body =
 
 let send_raw ep ~dst payload = Engine.send ep.engine ~src:ep.node ~dst payload
 
-let on_receive ep handler = ep.handlers <- ep.handlers @ [ handler ]
+let on_receive ep handler = ep.handlers <- handler :: ep.handlers
 
 let broadcast_raw t ~src payload =
   let nodes = Topology.all_nodes (Engine.topology t.fabric_engine) in

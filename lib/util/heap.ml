@@ -1,6 +1,12 @@
+(* Binary min-heap backed by an option array.  The [None] slots matter:
+   elements are simulator events capturing closures, and a vacated slot
+   that still points at one keeps it reachable for the rest of the run.
+   [pop] clears the slot it vacates and [grow] fills fresh capacity with
+   [None], so a popped element is garbage as soon as the caller drops it. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -10,11 +16,13 @@ let is_empty t = t.size = 0
 
 let size t = t.size
 
-let grow t x =
+let get t i = match t.data.(i) with Some x -> x | None -> assert false
+
+let grow t =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let next = if capacity = 0 then 16 else capacity * 2 in
-    let data = Array.make next x in
+    let data = Array.make next None in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -22,7 +30,7 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (get t i) (get t parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -33,8 +41,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -43,22 +51,21 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (get t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
     Some top
   end
 
@@ -67,5 +74,5 @@ let clear t =
   t.size <- 0
 
 let to_list t =
-  let rec take i acc = if i < 0 then acc else take (i - 1) (t.data.(i) :: acc) in
+  let rec take i acc = if i < 0 then acc else take (i - 1) (get t i :: acc) in
   take (t.size - 1) []

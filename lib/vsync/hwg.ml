@@ -106,6 +106,7 @@ type flush_info = {
 type change = {
   ch_epoch : int;
   ch_proposal : Node_id.Set.t;
+  ch_started : Time.t;
   mutable ch_flushed : flush_info Node_id.Map.t;
   mutable ch_deadline : Engine.cancel;
 }
@@ -331,6 +332,15 @@ let reset_for_view t g view =
   g.last_proposal <- Node_id.Set.empty;
   g.view_seq <- max g.view_seq view.View.id.View_id.seq;
   record t (Installed { node = t.node; view });
+  Engine.count t.engine "hwg.views_installed";
+  Engine.trace t.engine (fun () ->
+      Plwg_obs.Event.View_installed
+        {
+          node = t.node;
+          group = Gid.to_string g.group;
+          view = Format.asprintf "%a" View_id.pp view.View.id;
+          members = view.View.members;
+        });
   t.callbacks.on_view g.group view
 
 let after_install_resume t g =
@@ -356,8 +366,17 @@ let after_install_resume t g =
                   (Hw_to_req { group = g.group; view_id = view.View.id; origin = t.node; local_id; body }))
             g.to_pending)
 
+(* Tear down an in-progress change: cancel its deadline timer and close
+   the Flush_begin it emitted with a Flush_end carrying [outcome], so
+   the trace-level pairing invariant holds on every path. *)
+let cancel_change t g change ~outcome =
+  change.ch_deadline ();
+  g.change <- None;
+  Engine.trace t.engine (fun () ->
+      Plwg_obs.Event.Flush_end { node = t.node; group = Gid.to_string g.group; epoch = change.ch_epoch; outcome })
+
 let remove_group t g =
-  (match g.change with Some change -> change.ch_deadline () | None -> ());
+  (match g.change with Some change -> cancel_change t g change ~outcome:"left" | None -> ());
   Hashtbl.remove t.states g.group;
   record t (Left { node = t.node; group = g.group })
 
@@ -418,17 +437,14 @@ let rec evaluate t g =
           match g.change with
           | Some change when Node_id.Set.equal change.ch_proposal desired -> () (* already in progress *)
           | Some change ->
-              change.ch_deadline ();
-              g.change <- None;
+              cancel_change t g change ~outcome:"restarted";
               initiate t g desired
           | None -> initiate t g desired
         end
         else begin
           (* abandon any change I coordinate: a smaller node should lead *)
           (match g.change with
-          | Some change ->
-              change.ch_deadline ();
-              g.change <- None
+          | Some change -> cancel_change t g change ~outcome:"yielded"
           | None -> ());
           unicast t ~dst:coord
             (Hw_change_req
@@ -448,7 +464,18 @@ and initiate t g desired =
   Logs.debug (fun m -> m "n%d initiate %s e%d proposal=%s" t.node (Gid.to_string g.group) g.epoch (String.concat "," (List.map string_of_int (Node_id.Set.elements desired))));
   let epoch = g.epoch in
   let deadline = Engine.after_node t.engine t.node t.config.flush_deadline (fun () -> on_deadline t g epoch) in
-  g.change <- Some { ch_epoch = epoch; ch_proposal = desired; ch_flushed = Node_id.Map.empty; ch_deadline = deadline };
+  g.change <-
+    Some
+      {
+        ch_epoch = epoch;
+        ch_proposal = desired;
+        ch_started = Engine.now t.engine;
+        ch_flushed = Node_id.Map.empty;
+        ch_deadline = deadline;
+      };
+  Engine.count t.engine "hwg.flushes_started";
+  Engine.trace t.engine (fun () ->
+      Plwg_obs.Event.Flush_begin { node = t.node; group = Gid.to_string g.group; epoch });
   let proposal = Node_id.Set.elements desired in
   List.iter
     (fun dst -> unicast t ~dst (Hw_stop { group = g.group; epoch; coord = t.node; proposal }))
@@ -458,7 +485,7 @@ and on_deadline t g epoch =
   match g.change with
   | Some change when change.ch_epoch = epoch ->
       (* restart without the silent members (keep self and responders) *)
-      g.change <- None;
+      cancel_change t g change ~outcome:"timeout";
       let responders = Node_id.Map.fold (fun n _ acc -> Node_id.Set.add n acc) change.ch_flushed Node_id.Set.empty in
       let reachable = Detector.reachable_set t.detector in
       (* drop stale hints about nodes that did not respond *)
@@ -495,9 +522,7 @@ and handle_stop t ~src:_ ~group ~epoch ~coord ~proposal =
              joiner with no view, which must never be elected leader *)
           g.last_proposal <- Node_id.Set.of_list proposal;
           (match g.change with
-          | Some change when coord <> t.node ->
-              change.ch_deadline ();
-              g.change <- None
+          | Some change when coord <> t.node -> cancel_change t g change ~outcome:"superseded"
           | Some _ | None -> ());
           let was_stopped = match g.status with Stopped _ -> true | Joining _ | Normal -> false in
           g.status <- Stopped { st_epoch = epoch; st_coord = coord; acked = false; st_since = Engine.now t.engine };
@@ -530,8 +555,7 @@ and handle_stop_nack t ~group ~epoch =
   | Some g -> (
       match g.change with
       | Some change when epoch >= change.ch_epoch ->
-          change.ch_deadline ();
-          g.change <- None;
+          cancel_change t g change ~outcome:"nacked";
           g.epoch <- max g.epoch epoch;
           evaluate t g
       | Some _ | None -> g.epoch <- max g.epoch epoch)
@@ -552,8 +576,8 @@ and handle_flushed t ~group ~epoch ~from ~info =
 
 and finalize t g change =
   Logs.debug (fun m -> m "n%d finalize %s e%d" t.node (Gid.to_string g.group) change.ch_epoch);
-  change.ch_deadline ();
-  g.change <- None;
+  cancel_change t g change ~outcome:"installed";
+  Engine.observe t.engine "hwg.flush_us" (float_of_int (Time.diff (Engine.now t.engine) change.ch_started));
   let infos = change.ch_flushed in
   let stayers =
     Node_id.Set.filter

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "plwg"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
       ("transport", Test_transport.suite);
       ("detector", Test_detector.suite);

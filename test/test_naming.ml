@@ -183,7 +183,7 @@ let test_client_set_read () =
   let f = setup ~n_clients:2 () in
   Engine.run f.engine ~until:(Time.ms 500);
   let done_set = ref false and got = ref None in
-  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> done_set := true);
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> done_set := ok);
   Engine.run f.engine ~until:(Time.sec 2);
   Alcotest.(check bool) "set acked" true !done_set;
   (* after a gossip round, reads against EITHER replica see the mapping *)
@@ -228,10 +228,26 @@ let test_client_survives_server_crash () =
   Engine.crash f.engine (Server.node f.servers.(0));
   Engine.run f.engine ~until:(Time.sec 2);
   let acked = ref false in
-  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> acked := true);
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> acked := ok);
   Engine.run f.engine ~until:(Time.sec 6);
   Alcotest.(check bool) "failover ack" true !acked;
   Alcotest.(check int) "stored at survivor" 1 (List.length (Db.read (Server.db f.servers.(1)) lwg_a))
+
+let test_client_gives_up_with_explicit_failure () =
+  (* with BOTH replicas dead, a request must not vanish silently: the
+     client retries, then gives up and invokes the callback with a
+     failure (false ack / empty read) *)
+  let f = setup ~n_clients:1 () in
+  Engine.run f.engine ~until:(Time.sec 1);
+  Array.iter (fun server -> Engine.crash f.engine (Server.node server)) f.servers;
+  Engine.run f.engine ~until:(Time.sec 2);
+  let set_result = ref None and read_result = ref None in
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> set_result := Some ok);
+  Client.read f.clients.(0) lwg_a ~k:(fun entries -> read_result := Some entries);
+  Engine.run f.engine ~until:(Time.sec 60);
+  Alcotest.(check (option bool)) "set failed explicitly" (Some false) !set_result;
+  Alcotest.(check (option (list unit))) "read failed explicitly" (Some [])
+    (Option.map (List.map ignore) !read_result)
 
 let test_multiple_mappings_callback_on_heal () =
   (* Partition the replicas; each side maps the same LWG to a different
@@ -247,8 +263,8 @@ let test_multiple_mappings_callback_on_heal () =
   Engine.run f.engine ~until:(Time.sec 1);
   Engine.set_partition f.engine [ [ 0; server0 ]; [ 1; server1 ] ];
   Engine.run f.engine ~until:(Time.sec 1);
-  Client.set f.clients.(0) (entry ~members:[ 0 ] ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> ());
-  Client.set f.clients.(1) (entry ~members:[ 1 ] ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun () -> ());
+  Client.set f.clients.(0) (entry ~members:[ 0 ] ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun _ -> ());
+  Client.set f.clients.(1) (entry ~members:[ 1 ] ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun _ -> ());
   Engine.run f.engine ~until:(Time.sec 3);
   Alcotest.(check (list unit)) "no callback during partition" [] (List.map ignore !notified);
   Engine.heal f.engine;
@@ -264,12 +280,12 @@ let test_multiple_mappings_callback_on_heal () =
 let test_gc_propagates_to_replicas () =
   let f = setup ~n_clients:2 () in
   Engine.run f.engine ~until:(Time.sec 1);
-  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun () -> ());
+  Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun _ -> ());
   Engine.run f.engine ~until:(Time.sec 2);
   (* the merged view supersedes the old one *)
   Client.set f.clients.(1)
     (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_1 ~preds:[ vid 0 1 ] ())
-    ~k:(fun () -> ());
+    ~k:(fun _ -> ());
   Engine.run f.engine ~until:(Time.sec 3);
   Array.iter
     (fun server ->
@@ -298,6 +314,7 @@ let suite =
     Alcotest.test_case "client read unknown" `Quick test_client_read_unknown;
     Alcotest.test_case "client testset race" `Quick test_client_testset_race;
     Alcotest.test_case "client survives server crash" `Quick test_client_survives_server_crash;
+    Alcotest.test_case "client gives up with explicit failure" `Quick test_client_gives_up_with_explicit_failure;
     Alcotest.test_case "multiple-mappings callback on heal" `Quick test_multiple_mappings_callback_on_heal;
     Alcotest.test_case "gc propagates to replicas" `Quick test_gc_propagates_to_replicas;
   ]

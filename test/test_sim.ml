@@ -223,8 +223,11 @@ let test_run_until_idle () =
   let engine = make () in
   let fired = ref false in
   let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> fired := true) in
-  Engine.run_until_idle engine;
-  Alcotest.(check bool) "drained" true !fired
+  Engine.run_until_idle ~limit:(Time.sec 2) engine;
+  Alcotest.(check bool) "drained" true !fired;
+  (* regression: the clock must land on the horizon, like [run], not on
+     the last event *)
+  Alcotest.(check int) "now reaches the limit" (Time.sec 2) (Engine.now engine)
 
 let suite =
   [

@@ -128,6 +128,31 @@ let prop_heap_size =
       | None -> before = 0)
       && Heap.size heap = List.length (Heap.to_list heap))
 
+(* Regression: pop used to leave the popped element (and the old root,
+   duplicated into the last slot by the swap) reachable from the backing
+   array, pinning arbitrarily large closures until the next push over
+   that slot.  Popped elements must be collectable immediately. *)
+let test_heap_pop_releases_memory () =
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let boxed = ref i in
+    Weak.set weak i (Some boxed);
+    Heap.push heap (i, boxed)
+  done;
+  let rec drain () = match Heap.pop heap with Some _ -> drain () | None -> () in
+  drain ();
+  Gc.full_major ();
+  for i = 0 to 7 do
+    Alcotest.(check bool) (Printf.sprintf "popped element %d unreachable" i) false (Weak.check weak i)
+  done
+
+let test_heap_to_list_excludes_popped () =
+  let heap = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push heap) [ 5; 1; 3 ];
+  ignore (Heap.pop heap);
+  Alcotest.(check (list int)) "popped element gone" [ 3; 5 ] (List.sort Int.compare (Heap.to_list heap))
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -143,6 +168,8 @@ let suite =
     Alcotest.test_case "rng pick" `Quick test_rng_pick_member;
     Alcotest.test_case "heap basic" `Quick test_heap_basic;
     Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    Alcotest.test_case "heap pop releases memory" `Quick test_heap_pop_releases_memory;
+    Alcotest.test_case "heap to_list excludes popped" `Quick test_heap_to_list_excludes_popped;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_heap_size;
   ]
