@@ -1,0 +1,213 @@
+(* Scalable macro-benchmark: sweeps nodes x groups x message rate over
+   the full HWG stack and writes machine-readable results to
+   BENCH_results.json, so the performance trajectory of the simulator
+   core is tracked from run to run (see EXPERIMENTS.md, "Performance
+   baselines", for the schema and the recorded history).
+
+     dune exec bench/macro.exe [-- --quick | --smoke] [--out FILE] [--seed N]
+
+   Two parts:
+
+   - a backlog micro-case: partition a sender, queue [backlog_n] sends
+     (polling [Transport.in_flight] per send, as the stress command
+     does), heal, drain.  This is the workload where the pre-ring
+     transport paid O(n^2) list appends.
+   - a macro sweep: n nodes, g groups of 4 members each, every group's
+     first member sending at a fixed rate, wall-clock timed against the
+     engine's own message counters. *)
+
+open Plwg_sim
+module Transport = Plwg_transport.Transport
+module Hwg = Plwg_vsync.Hwg
+module Cluster = Plwg_harness.Cluster
+module Json = Plwg_obs.Json
+open Plwg_vsync.Types
+
+type Payload.t += Bench of int
+
+let wall () = Unix.gettimeofday ()
+
+let us_of_s s = int_of_float (s *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Backlog micro-case                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let backlog_cycle ~n_msgs =
+  let engine = Engine.create ~model:Model.default ~seed:11 ~n_nodes:2 () in
+  let transport = Transport.create engine in
+  let got = ref 0 in
+  let fifo = ref true in
+  let next = ref 1 in
+  Transport.on_receive (Transport.endpoint transport 1) (fun ~src:_ payload ->
+      match payload with
+      | Bench i ->
+          if i <> !next then fifo := false;
+          incr next;
+          incr got
+      | _ -> ());
+  let ep = Transport.endpoint transport 0 in
+  Engine.set_partition engine [ [ 0 ]; [ 1 ] ];
+  let t0 = wall () in
+  let max_in_flight = ref 0 in
+  for i = 1 to n_msgs do
+    Transport.send ep ~dst:1 (Bench i);
+    max_in_flight := max !max_in_flight (Transport.in_flight ep)
+  done;
+  let t1 = wall () in
+  Engine.heal engine;
+  Engine.run_until_idle ~limit:(Time.sec 120) engine;
+  let t2 = wall () in
+  if not (!got = n_msgs && !fifo && !max_in_flight = n_msgs) then
+    failwith
+      (Printf.sprintf "backlog invariant broken: got %d/%d fifo=%b peak=%d" !got n_msgs !fifo !max_in_flight);
+  (t1 -. t0, t2 -. t0)
+
+let backlog_micro ~n_msgs ~reps =
+  ignore (backlog_cycle ~n_msgs) (* warmup *);
+  let enqueue = ref infinity and cycle = ref infinity in
+  for _ = 1 to reps do
+    let e, c = backlog_cycle ~n_msgs in
+    enqueue := min !enqueue e;
+    cycle := min !cycle c
+  done;
+  Printf.printf "backlog micro: n=%d enqueue %.3f ms, full cycle %.3f ms (best of %d)\n%!" n_msgs
+    (!enqueue *. 1e3) (!cycle *. 1e3) reps;
+  Json.Obj
+    [
+      ("n_msgs", Json.Int n_msgs);
+      ("reps", Json.Int reps);
+      ("enqueue_us", Json.Int (us_of_s !enqueue));
+      ("full_cycle_us", Json.Int (us_of_s !cycle));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Macro sweep                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type config = { nodes : int; groups : int; rate_hz : int; sim_s : int }
+
+let members_of_group ~nodes i =
+  let size = min 4 nodes in
+  List.init size (fun k -> (i + k) mod nodes)
+
+let run_config ~seed { nodes; groups; rate_hz; sim_s } =
+  let cluster = Cluster.create ~seed ~n_nodes:nodes () in
+  let engine = cluster.Cluster.engine in
+  let gids = List.init groups (fun i -> { Gid.seq = 1 + i; origin = 0 }) in
+  List.iteri
+    (fun i gid ->
+      List.iter (fun m -> Hwg.join cluster.Cluster.hwgs.(m) gid) (members_of_group ~nodes i))
+    gids;
+  (* let views form before the measured window *)
+  Cluster.run cluster (Time.sec 4);
+  let period = Time.us (1_000_000 / rate_hz) in
+  let senders_active = ref true in
+  List.iteri
+    (fun i gid ->
+      let sender = List.hd (members_of_group ~nodes i) in
+      let counter = ref 0 in
+      let rec fire () =
+        if !senders_active then begin
+          incr counter;
+          if Hwg.is_member cluster.Cluster.hwgs.(sender) gid then
+            Hwg.send cluster.Cluster.hwgs.(sender) gid (Bench !counter);
+          let (_ : Engine.cancel) = Engine.after engine period fire in
+          ()
+        end
+      in
+      (* stagger start so groups do not send in lock-step *)
+      let (_ : Engine.cancel) = Engine.after engine (Time.us (131 * i)) fire in
+      ())
+    gids;
+  let before = Engine.stats engine in
+  let t0 = wall () in
+  Cluster.run cluster (Time.sec sim_s);
+  let wall_s = wall () -. t0 in
+  senders_active := false;
+  let after = Engine.stats engine in
+  let sent = after.Engine.sent - before.Engine.sent in
+  let delivered = after.Engine.delivered - before.Engine.delivered in
+  let peak_unacked =
+    List.fold_left
+      (fun acc node -> max acc (Transport.in_flight_peak (Transport.endpoint cluster.Cluster.transport node)))
+      0
+      (List.init nodes (fun i -> i))
+  in
+  let peak_store =
+    List.fold_left
+      (fun acc gid ->
+        Array.fold_left (fun acc hwg -> max acc (Hwg.store_peak hwg gid)) acc cluster.Cluster.hwgs)
+      0 gids
+  in
+  let msgs_per_wall_s = if wall_s > 0. then int_of_float (float_of_int delivered /. wall_s) else 0 in
+  Printf.printf "nodes=%-3d groups=%-4d rate=%dHz sim=%ds: wall %7.1f ms, %8d delivered (%9d msgs/wall-s), peak unacked %d, peak store %d\n%!"
+    nodes groups rate_hz sim_s (wall_s *. 1e3) delivered msgs_per_wall_s peak_unacked peak_store;
+  Json.Obj
+    [
+      ("nodes", Json.Int nodes);
+      ("groups", Json.Int groups);
+      ("rate_hz", Json.Int rate_hz);
+      ("sim_s", Json.Int sim_s);
+      ("wall_us", Json.Int (us_of_s wall_s));
+      ("sent", Json.Int sent);
+      ("delivered", Json.Int delivered);
+      ("msgs_per_wall_s", Json.Int msgs_per_wall_s);
+      ("peak_unacked", Json.Int peak_unacked);
+      ("peak_store", Json.Int peak_store);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let full_sweep =
+  [
+    { nodes = 4; groups = 8; rate_hz = 50; sim_s = 2 };
+    { nodes = 8; groups = 32; rate_hz = 50; sim_s = 2 };
+    { nodes = 16; groups = 64; rate_hz = 50; sim_s = 2 };
+    { nodes = 16; groups = 128; rate_hz = 50; sim_s = 2 };
+    { nodes = 32; groups = 256; rate_hz = 50; sim_s = 2 };
+  ]
+
+let quick_sweep =
+  [ { nodes = 4; groups = 8; rate_hz = 20; sim_s = 1 }; { nodes = 8; groups = 32; rate_hz = 20; sim_s = 1 } ]
+
+let smoke_sweep = [ { nodes = 4; groups = 8; rate_hz = 10; sim_s = 1 } ]
+
+let () =
+  let quick = ref false in
+  let smoke = ref false in
+  let out = ref "BENCH_results.json" in
+  let seed = ref 7 in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, " reduced sweep (a few seconds)");
+      ("--smoke", Arg.Set smoke, " one tiny config; used by the runtest wiring");
+      ("--out", Arg.Set_string out, "FILE results file (default BENCH_results.json)");
+      ("--seed", Arg.Set_int seed, "N simulation seed (default 7)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "macro [--quick|--smoke] [--out FILE]";
+  let sweep, backlog_n, reps, mode =
+    if !smoke then (smoke_sweep, 100, 2, "smoke")
+    else if !quick then (quick_sweep, 1_000, 5, "quick")
+    else (full_sweep, 1_000, 20, "full")
+  in
+  let backlog = backlog_micro ~n_msgs:backlog_n ~reps in
+  let runs = List.map (fun config -> run_config ~seed:!seed config) sweep in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "plwg-macro-bench/1");
+        ("mode", Json.Str mode);
+        ("seed", Json.Int !seed);
+        ("backlog_micro", backlog);
+        ("runs", Json.List runs);
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results written to %s\n" !out

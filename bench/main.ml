@@ -101,10 +101,11 @@ module Micro = struct
   let all =
     [ heap_churn; rng_draws; db_set; db_merge; policy_rules; simulation_slice ]
 
-  let run () =
+  let run ?(quick = false) () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
     let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+    let quota = if quick then Time.second 0.1 else Time.second 0.5 in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:true () in
     Printf.printf "%-44s%16s\n" "benchmark" "time/run";
     List.iter
       (fun test ->
@@ -169,19 +170,24 @@ let message_breakdown () =
   flush stdout
 
 let () =
+  (* --quick: cut the figure-2 sweep and the slow ablations so a bench
+     build can be sanity-checked in seconds (CI smoke; see bench/dune). *)
+  let quick = Array.exists (fun arg -> arg = "--quick") Sys.argv in
   section "Figure 2: latency / throughput / recovery (no-lwg vs static vs dynamic)";
-  Plwg_harness.Figure2.print_all ();
+  Plwg_harness.Figure2.print_all ?ns:(if quick then Some [ 1; 2 ] else None) ();
   section "Figures 3-4, Tables 3-4: partition criss-cross and reconciliation";
   Plwg_harness.Scenario.print (Plwg_harness.Scenario.run ());
   section "Reconciliation traffic: per-protocol message breakdown (trace-derived)";
   message_breakdown ();
-  section "Figure 5 cost: merge-views (one flush for all LWGs of a HWG)";
-  Plwg_harness.Ablation.merge_cost ();
-  section "Ablation: policy parameters (Figure 1 rules)";
-  Plwg_harness.Ablation.policy_sweep ();
-  section "Ablation: heuristic evaluation period";
-  Plwg_harness.Ablation.heuristic_period ();
-  section "Ablation: naming-service anti-entropy period";
-  Plwg_harness.Ablation.anti_entropy ();
+  if not quick then begin
+    section "Figure 5 cost: merge-views (one flush for all LWGs of a HWG)";
+    Plwg_harness.Ablation.merge_cost ();
+    section "Ablation: policy parameters (Figure 1 rules)";
+    Plwg_harness.Ablation.policy_sweep ();
+    section "Ablation: heuristic evaluation period";
+    Plwg_harness.Ablation.heuristic_period ();
+    section "Ablation: naming-service anti-entropy period";
+    Plwg_harness.Ablation.anti_entropy ()
+  end;
   section "Micro-benchmarks (Bechamel)";
-  Micro.run ()
+  Micro.run ~quick ()

@@ -127,6 +127,17 @@ let stress_cmd =
       done;
       Engine.heal stack.Plwg_harness.Stack.engine;
       Plwg_harness.Stack.run stack (Time.sec 25);
+      (* in_flight/in_flight_peak are O(1) counters, so sampling every
+         node's transport backlog after a schedule costs nothing *)
+      let peak_unacked =
+        List.fold_left
+          (fun acc node ->
+            max acc
+              (Plwg_transport.Transport.in_flight_peak
+                 (Plwg_transport.Transport.endpoint stack.Plwg_harness.Stack.transport node)))
+          0
+          (stack.Plwg_harness.Stack.app_nodes @ stack.Plwg_harness.Stack.server_nodes)
+      in
       let trace_violations =
         match obs with
         | None -> []
@@ -144,7 +155,7 @@ let stress_cmd =
         && Plwg_vsync.Recorder.check_all stack.Plwg_harness.Stack.recorder = []
         && trace_violations = []
       in
-      Printf.printf "seed %-6d %s\n%!" seed (if ok then "ok" else "FAILED");
+      Printf.printf "seed %-6d %s  (peak unacked %d)\n%!" seed (if ok then "ok" else "FAILED") peak_unacked;
       List.iter (fun v -> Printf.printf "        trace: %s\n" v) trace_violations;
       if not ok then incr failures
     done;

@@ -12,10 +12,13 @@ type t = {
   obs : Plwg_obs.t option;
   mutable now : Time.t;
   mutable next_seq : int;
-  (* Handlers are stored newest-first; [dispatch] reverses, so they
-     still fire in subscription order without the quadratic [@ [h]]
-     append that registration used to pay. *)
+  (* Handlers are registered newest-first into [handlers]; [dispatch]
+     freezes each node's list into [frozen] (subscription order) the
+     first time it fires after a registration, so steady-state delivery
+     iterates an array with no per-message [List.rev] allocation. *)
   handlers : (src:Node_id.t -> Payload.t -> unit) list array;
+  frozen : (src:Node_id.t -> Payload.t -> unit) array array;
+  handlers_dirty : bool array;
   busy_until : Time.t array;
   mutable sent : int;
   mutable delivered : int;
@@ -37,6 +40,8 @@ let create ?obs ?(model = Model.default) ~seed ~n_nodes () =
     now = Time.zero;
     next_seq = 0;
     handlers = Array.make n_nodes [];
+    frozen = Array.make n_nodes [||];
+    handlers_dirty = Array.make n_nodes false;
     busy_until = Array.make n_nodes Time.zero;
     sent = 0;
     delivered = 0;
@@ -61,7 +66,9 @@ let schedule t time action =
   t.next_seq <- seq + 1;
   Plwg_util.Heap.push t.queue { time; seq; action }
 
-let subscribe t node handler = t.handlers.(node) <- handler :: t.handlers.(node)
+let subscribe t node handler =
+  t.handlers.(node) <- handler :: t.handlers.(node);
+  t.handlers_dirty.(node) <- true
 
 let dispatch t ~sent_at ~src ~dst payload =
   if Topology.is_alive t.topology dst then begin
@@ -71,7 +78,14 @@ let dispatch t ~sent_at ~src ~dst payload =
         Plwg_obs.Event.Msg_delivered
           { src; dst; kind = Payload.to_string payload; latency_us = Time.diff t.now sent_at });
     observe t "engine.delivery_latency_us" (float_of_int (Time.diff t.now sent_at));
-    List.iter (fun handler -> handler ~src payload) (List.rev t.handlers.(dst))
+    if t.handlers_dirty.(dst) then begin
+      t.frozen.(dst) <- Array.of_list (List.rev t.handlers.(dst));
+      t.handlers_dirty.(dst) <- false
+    end;
+    let handlers = t.frozen.(dst) in
+    for i = 0 to Array.length handlers - 1 do
+      handlers.(i) ~src payload
+    done
   end
 
 (* A message that reached [dst]'s network interface queues through its
@@ -82,9 +96,16 @@ let enqueue_cpu t ~sent_at ~src ~dst payload =
   t.busy_until.(dst) <- finish;
   schedule t finish (fun () -> dispatch t ~sent_at ~src ~dst payload)
 
-let drop t ~src ~dst ~reason payload =
+(* Per-reason drop metric names, interned once: [drop] sits on the
+   partition fast path and must not build strings when no observer is
+   attached. *)
+let metric_dropped_unreachable = "engine.dropped.unreachable"
+let metric_dropped_wire = "engine.dropped.wire"
+let metric_dropped_cut = "engine.dropped.cut"
+
+let drop t ~src ~dst ~reason ~metric payload =
   trace t (fun () -> Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason });
-  count t ("engine.dropped." ^ reason)
+  count t metric
 
 let send t ~src ~dst payload =
   if Topology.is_alive t.topology src then
@@ -96,14 +117,14 @@ let send t ~src ~dst payload =
     end
     else if not (Topology.reachable t.topology src dst) then begin
       t.unreachable_dropped <- t.unreachable_dropped + 1;
-      drop t ~src ~dst ~reason:"unreachable" payload
+      drop t ~src ~dst ~reason:"unreachable" ~metric:metric_dropped_unreachable payload
     end
     else if t.model.Model.drop_prob > 0.0 && Plwg_util.Rng.bernoulli t.rng t.model.Model.drop_prob then begin
       t.sent <- t.sent + 1;
       t.wire_dropped <- t.wire_dropped + 1;
       count t "engine.sent";
       trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
-      drop t ~src ~dst ~reason:"wire" payload
+      drop t ~src ~dst ~reason:"wire" ~metric:metric_dropped_wire payload
     end
     else begin
       t.sent <- t.sent + 1;
@@ -119,7 +140,7 @@ let send t ~src ~dst payload =
         if Topology.reachable t.topology src dst then enqueue_cpu t ~sent_at ~src ~dst payload
         else begin
           t.unreachable_dropped <- t.unreachable_dropped + 1;
-          drop t ~src ~dst ~reason:"cut" payload
+          drop t ~src ~dst ~reason:"cut" ~metric:metric_dropped_cut payload
         end
       in
       schedule t arrival deliver

@@ -3,11 +3,23 @@ type t = {
   component : int array; (* node -> connectivity class id *)
   alive : bool array;
   mutable generation : int;
+  (* [component_of] memo: per node, the member list computed at
+     [comp_cache_gen].  Every mutation bumps [generation], so a stale
+     entry can never be served. *)
+  comp_cache : Node_id.t list array;
+  comp_cache_gen : int array;
 }
 
 let create ~n_nodes =
   if n_nodes <= 0 then invalid_arg "Topology.create: n_nodes must be positive";
-  { n = n_nodes; component = Array.make n_nodes 0; alive = Array.make n_nodes true; generation = 0 }
+  {
+    n = n_nodes;
+    component = Array.make n_nodes 0;
+    alive = Array.make n_nodes true;
+    generation = 0;
+    comp_cache = Array.make n_nodes [];
+    comp_cache_gen = Array.make n_nodes (-1);
+  }
 
 let n_nodes t = t.n
 
@@ -60,7 +72,19 @@ let reachable t a b =
 let component_of t node =
   check_node t node;
   if not t.alive.(node) then []
-  else
-    List.filter (fun other -> t.alive.(other) && t.component.(other) = t.component.(node)) (all_nodes t)
+  else if t.comp_cache_gen.(node) = t.generation then t.comp_cache.(node)
+  else begin
+    let members =
+      List.filter (fun other -> t.alive.(other) && t.component.(other) = t.component.(node)) (all_nodes t)
+    in
+    (* the list is identical for every member; fill their slots too so a
+       sweep over all nodes rebuilds each class once, not once per node *)
+    List.iter
+      (fun member ->
+        t.comp_cache.(member) <- members;
+        t.comp_cache_gen.(member) <- t.generation)
+      members;
+    members
+  end
 
 let generation t = t.generation

@@ -1,4 +1,6 @@
 open Plwg_sim
+module Deque = Plwg_util.Deque
+module Seqbuf = Plwg_util.Seqbuf
 
 type Payload.t +=
   | Seg of { conn : int; seq : int; body : Payload.t }
@@ -14,11 +16,14 @@ type config = { rto : Time.span; max_rto : Time.span; give_up_after : int }
 
 let default_config = { rto = Time.ms 20; max_rto = Time.ms 320; give_up_after = 8 }
 
-(* Sender side of one (src, dst) connection. *)
+(* Sender side of one (src, dst) connection.  The unacked window is a
+   ring: sends push at the back, cumulative acks pop from the front, so
+   a deep backlog costs O(1) per message instead of the O(n) append and
+   O(n) ack re-filter of the list it replaces. *)
 type out_conn = {
   mutable out_id : int;
   mutable next_seq : int;
-  mutable unacked : (int * Payload.t) list; (* oldest first *)
+  unacked : (int * Payload.t) Deque.t; (* oldest first, seq strictly increasing *)
   mutable acked_progress : int; (* value of peer's last cumulative ack *)
   mutable retries : int;
   mutable cur_rto : Time.span;
@@ -29,7 +34,7 @@ type out_conn = {
 type in_conn = {
   mutable in_id : int;
   mutable next_expected : int;
-  mutable out_of_order : (int * Payload.t) list; (* sorted by seq *)
+  out_of_order : Payload.t Seqbuf.t; (* keyed by seq *)
   mutable ack_pending : bool;
 }
 
@@ -41,6 +46,8 @@ type endpoint = {
   outs : (Node_id.t, out_conn) Hashtbl.t;
   ins : (Node_id.t, in_conn) Hashtbl.t;
   mutable handlers : (src:Node_id.t -> Payload.t -> unit) list;
+  mutable in_flight : int; (* total unacked across all out connections *)
+  mutable in_flight_peak : int;
 }
 
 type t = { fabric_engine : Engine.t; fabric_config : config; endpoints : endpoint option array }
@@ -64,7 +71,7 @@ let get_in ep src =
   match Hashtbl.find_opt ep.ins src with
   | Some ic -> ic
   | None ->
-      let ic = { in_id = -1; next_expected = 0; out_of_order = []; ack_pending = false } in
+      let ic = { in_id = -1; next_expected = 0; out_of_order = Seqbuf.create (); ack_pending = false } in
       Hashtbl.add ep.ins src ic;
       ic
 
@@ -80,14 +87,14 @@ let send_ack ep ~dst ic =
   end
 
 let rec drain_in_order ep ~src ic =
-  match ic.out_of_order with
-  | (seq, body) :: rest when seq = ic.next_expected ->
-      ic.out_of_order <- rest;
+  match Seqbuf.min_opt ic.out_of_order with
+  | Some (seq, body) when seq = ic.next_expected ->
+      Seqbuf.remove_min ic.out_of_order;
       ic.next_expected <- seq + 1;
       deliver ep ~src body;
       drain_in_order ep ~src ic
-  | (seq, _) :: rest when seq < ic.next_expected ->
-      ic.out_of_order <- rest;
+  | Some (seq, _) when seq < ic.next_expected ->
+      Seqbuf.remove_min ic.out_of_order;
       drain_in_order ep ~src ic
   | _ -> ()
 
@@ -97,7 +104,7 @@ let on_seg ep ~src ~conn ~seq body =
     (* peer reset the connection: restart the stream *)
     ic.in_id <- conn;
     ic.next_expected <- 0;
-    ic.out_of_order <- []
+    Seqbuf.clear ic.out_of_order
   end;
   if conn = ic.in_id then begin
     if seq = ic.next_expected then begin
@@ -105,15 +112,14 @@ let on_seg ep ~src ~conn ~seq body =
       deliver ep ~src body;
       drain_in_order ep ~src ic
     end
-    else if seq > ic.next_expected && not (List.mem_assoc seq ic.out_of_order) then
-      ic.out_of_order <- List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, body) :: ic.out_of_order);
+    else if seq > ic.next_expected then Seqbuf.add ic.out_of_order seq body;
     send_ack ep ~dst:src ic
   end
 (* conn < ic.in_id: stale fragment of an abandoned connection; drop. *)
 
 let reset_out ep ~dst oc =
   Engine.count ep.engine "transport.conn_resets";
-  List.iter
+  Deque.iter
     (fun (_, body) ->
       Engine.trace ep.engine (fun () ->
           Plwg_obs.Event.Msg_dropped
@@ -121,9 +127,10 @@ let reset_out ep ~dst oc =
     oc.unacked;
   (match oc.timer with Some cancel -> cancel () | None -> ());
   ep.conn_counter <- ep.conn_counter + 1;
+  ep.in_flight <- ep.in_flight - Deque.length oc.unacked;
   oc.out_id <- ep.conn_counter;
   oc.next_seq <- 0;
-  oc.unacked <- [];
+  Deque.clear oc.unacked;
   oc.acked_progress <- 0;
   oc.retries <- 0;
   oc.cur_rto <- ep.config.rto;
@@ -134,20 +141,16 @@ let retransmit_batch = 32
 let rec arm_timer ep ~dst oc =
   let fire () =
     oc.timer <- None;
-    if oc.unacked <> [] then begin
+    if not (Deque.is_empty oc.unacked) then begin
       oc.retries <- oc.retries + 1;
       if oc.retries > ep.config.give_up_after then reset_out ep ~dst oc
       else begin
-        let rec resend count = function
-          | [] -> ()
-          | (seq, body) :: rest ->
-              if count < retransmit_batch then begin
-                Engine.count ep.engine "transport.retransmits";
-                Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
-                resend (count + 1) rest
-              end
-        in
-        resend 0 oc.unacked;
+        let batch = min retransmit_batch (Deque.length oc.unacked) in
+        for i = 0 to batch - 1 do
+          let seq, body = Deque.get oc.unacked i in
+          Engine.count ep.engine "transport.retransmits";
+          Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body })
+        done;
         oc.cur_rto <- min (oc.cur_rto * 2) ep.config.max_rto;
         arm_timer ep ~dst oc
       end
@@ -164,7 +167,7 @@ let get_out ep dst =
         {
           out_id = ep.conn_counter;
           next_seq = 0;
-          unacked = [];
+          unacked = Deque.create ();
           acked_progress = 0;
           retries = 0;
           cur_rto = ep.config.rto;
@@ -182,8 +185,18 @@ let on_ack ep ~src ~conn ~next =
         oc.retries <- 0;
         oc.cur_rto <- ep.config.rto
       end;
-      oc.unacked <- List.filter (fun (seq, _) -> seq >= next) oc.unacked;
-      if oc.unacked = [] then begin
+      (* cumulative ack: sequence numbers are strictly increasing front
+         to back, so everything below [next] sits at the front *)
+      let rec prune () =
+        match Deque.peek_front oc.unacked with
+        | Some (seq, _) when seq < next ->
+            ignore (Deque.pop_front oc.unacked);
+            ep.in_flight <- ep.in_flight - 1;
+            prune ()
+        | Some _ | None -> ()
+      in
+      prune ();
+      if Deque.is_empty oc.unacked then begin
         (match oc.timer with Some cancel -> cancel () | None -> ());
         oc.timer <- None
       end
@@ -208,6 +221,8 @@ let endpoint t node =
           outs = Hashtbl.create 16;
           ins = Hashtbl.create 16;
           handlers = [];
+          in_flight = 0;
+          in_flight_peak = 0;
         }
       in
       t.endpoints.(node) <- Some ep;
@@ -222,7 +237,9 @@ let send ep ~dst body =
     let oc = get_out ep dst in
     let seq = oc.next_seq in
     oc.next_seq <- seq + 1;
-    oc.unacked <- oc.unacked @ [ (seq, body) ];
+    Deque.push_back oc.unacked (seq, body);
+    ep.in_flight <- ep.in_flight + 1;
+    if ep.in_flight > ep.in_flight_peak then ep.in_flight_peak <- ep.in_flight;
     Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
     if oc.timer = None then arm_timer ep ~dst oc
   end
@@ -235,4 +252,6 @@ let broadcast_raw t ~src payload =
   let nodes = Topology.all_nodes (Engine.topology t.fabric_engine) in
   Engine.multicast t.fabric_engine ~src ~dsts:nodes payload
 
-let in_flight ep = Hashtbl.fold (fun _ oc acc -> acc + List.length oc.unacked) ep.outs 0
+let in_flight ep = ep.in_flight
+
+let in_flight_peak ep = ep.in_flight_peak

@@ -49,4 +49,9 @@ val broadcast_raw : t -> src:Plwg_sim.Node_id.t -> Plwg_sim.Payload.t -> unit
     multicast).  No retransmission; received through the same handlers. *)
 
 val in_flight : endpoint -> int
-(** Unacknowledged messages queued at this endpoint (for tests). *)
+(** Unacknowledged messages queued at this endpoint.  O(1): a counter
+    maintained by send/ack/reset, so pollers (the stress command, the
+    macro bench) can sample it per event at no cost. *)
+
+val in_flight_peak : endpoint -> int
+(** High-water mark of {!in_flight} over the endpoint's lifetime. *)

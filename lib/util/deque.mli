@@ -1,0 +1,39 @@
+(** Growable ring buffer with amortized-O(1) [push_back]/[pop_front].
+
+    The FIFO workhorse of the stack's hot paths: the transport's
+    unacked send window (cumulative acks pop from the front), the HWG
+    total-order pending queue and the per-sender retransmission
+    stores.  Popped slots are cleared so the simulator's closures do
+    not retain dead elements. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val peek_front : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element at logical position [i] (0 = front).
+    @raise Invalid_argument when out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_list : 'a t -> 'a list
+(** Front-to-back order. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only matching elements, preserving order.  O(n) — the slow
+    path for out-of-order removals. *)
+
+val clear : 'a t -> unit

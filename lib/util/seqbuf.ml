@@ -1,0 +1,39 @@
+(* Ordered reassembly buffer: sequence-number-keyed stash for segments
+   that arrived ahead of the cursor.  Replaces the sorted association
+   list the transport used to re-sort on every out-of-order arrival:
+   membership, insertion and min-extraction are all O(log n). *)
+
+module IntMap = Map.Make (Int)
+
+type 'a t = { mutable map : 'a IntMap.t; mutable card : int }
+
+let create () = { map = IntMap.empty; card = 0 }
+
+let length t = t.card
+
+let is_empty t = t.card = 0
+
+let mem t seq = IntMap.mem seq t.map
+
+(* First arrival wins, as with the association list it replaces (a
+   retransmitted segment carries the same body anyway). *)
+let add t seq x =
+  if not (IntMap.mem seq t.map) then begin
+    t.map <- IntMap.add seq x t.map;
+    t.card <- t.card + 1
+  end
+
+let min_opt t = IntMap.min_binding_opt t.map
+
+let remove_min t =
+  match IntMap.min_binding_opt t.map with
+  | None -> ()
+  | Some (seq, _) ->
+      t.map <- IntMap.remove seq t.map;
+      t.card <- t.card - 1
+
+let clear t =
+  t.map <- IntMap.empty;
+  t.card <- 0
+
+let to_list t = IntMap.bindings t.map

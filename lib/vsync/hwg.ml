@@ -2,6 +2,7 @@ open Plwg_sim
 open Types
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
+module Deque = Plwg_util.Deque
 
 (* ------------------------------------------------------------------ *)
 (* Wire messages                                                       *)
@@ -128,12 +129,18 @@ type gstate = {
   mutable delivered : int Node_id.Map.t;
   mutable to_delivered : int Node_id.Map.t; (* per origin, across views *)
   mutable to_stamped : int Node_id.Map.t; (* coordinator, per view *)
-  mutable store : app_msg list; (* reversed; pruned below the stability floor *)
+  (* Retransmission store, one seq-ascending deque per sender: delivery
+     appends at the back, stability pruning pops from the front, and
+     [store_count] keeps the size O(1) — the list this replaces was
+     re-filtered and re-counted wholesale on every stability round. *)
+  mutable store : app_msg Deque.t Node_id.Map.t;
+  mutable store_count : int;
+  mutable store_peak : int; (* lifetime high-water mark, across views *)
   mutable stable_floor : int Node_id.Map.t; (* per sender: all members delivered below this *)
   mutable peer_delivered : int Node_id.Map.t Node_id.Map.t; (* member -> delivery vector, current view *)
   mutable frozen : (View_id.t * app_msg) list; (* reversed arrival order *)
   mutable outbox : Payload.t list; (* reversed *)
-  mutable to_pending : (int * Payload.t) list; (* oldest first *)
+  to_pending : (int * Payload.t) Deque.t; (* oldest first *)
   mutable joiners : Node_id.Set.t;
   mutable leavers : Node_id.Set.t;
   mutable foreign : (Time.t * Node_id.t) list;
@@ -209,15 +216,34 @@ let deliver_upcall t g msg ~view_id =
         else false
   in
   if upcall then begin
-    if msg.origin = t.node then g.to_pending <- List.filter (fun (id, _) -> id <> msg.local_id) g.to_pending;
+    if msg.origin = t.node then begin
+      (* total-order pending sends complete in FIFO order, so the one
+         just delivered is almost always at the front *)
+      match Deque.peek_front g.to_pending with
+      | Some (id, _) when id = msg.local_id -> ignore (Deque.pop_front g.to_pending)
+      | Some _ -> Deque.filter_in_place (fun (id, _) -> id <> msg.local_id) g.to_pending
+      | None -> ()
+    end;
     record t (Delivered { node = t.node; group = g.group; view_id; origin = msg.origin; local_id = msg.local_id });
     t.callbacks.on_data g.group ~view_id ~src:msg.origin msg.body
   end
 
 let deliver_now t g msg ~view_id =
   g.delivered <- Node_id.Map.add msg.sender (msg.seq + 1) g.delivered;
-  g.store <- msg :: g.store;
+  (match Node_id.Map.find_opt msg.sender g.store with
+  | Some dq -> Deque.push_back dq msg
+  | None ->
+      let dq = Deque.create () in
+      Deque.push_back dq msg;
+      g.store <- Node_id.Map.add msg.sender dq g.store);
+  g.store_count <- g.store_count + 1;
+  if g.store_count > g.store_peak then g.store_peak <- g.store_count;
   deliver_upcall t g msg ~view_id
+
+(* Flatten the store for the wire (FLUSHED).  Consumers key the bodies
+   by (sender, seq); ordering across senders is immaterial. *)
+let store_to_list g =
+  Node_id.Map.fold (fun _ dq acc -> Deque.fold_left (fun acc msg -> msg :: acc) acc dq) g.store []
 
 (* A message is deliverable when it is the sender's next (FIFO) and, in
    causal mode, every delivery its vector clock records has happened
@@ -291,7 +317,7 @@ let send_in_view t g body =
       | Total ->
           let local_id = g.next_local in
           g.next_local <- local_id + 1;
-          g.to_pending <- g.to_pending @ [ (local_id, body) ];
+          Deque.push_back g.to_pending (local_id, body);
           let coord = View.coordinator view in
           if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
           else
@@ -323,7 +349,8 @@ let reset_for_view t g view =
   g.next_seq <- 0;
   g.delivered <- Node_id.Map.empty;
   g.to_stamped <- Node_id.Map.empty;
-  g.store <- [];
+  g.store <- Node_id.Map.empty;
+  g.store_count <- 0;
   g.stable_floor <- Node_id.Map.empty;
   g.peer_delivered <- Node_id.Map.empty;
   g.joiners <- Node_id.Set.diff g.joiners (View.members_set view);
@@ -358,7 +385,7 @@ let after_install_resume t g =
       | None -> ()
       | Some view ->
           let coord = View.coordinator view in
-          List.iter
+          Deque.iter
             (fun (local_id, body) ->
               if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
               else
@@ -544,7 +571,7 @@ and flush_reply t g =
              from = t.node;
              prev = g.view;
              delivered;
-             store = g.store;
+             store = store_to_list g;
              leaving = g.leaving_self;
            })
   | Joining _ | Normal -> ()
@@ -803,7 +830,7 @@ and handle_to_req t ~group ~view_id ~origin ~local_id ~body =
    it is pruned from the store. *)
 let broadcast_stability t g =
   match (g.status, g.view) with
-  | Normal, Some view when g.store <> [] ->
+  | Normal, Some view when g.store_count > 0 ->
       List.iter
         (fun dst ->
           unicast t ~dst
@@ -829,14 +856,26 @@ let handle_stable t ~group ~view_id ~from ~delivered =
                   | None -> 0)
                 max_int view.View.members
             in
-            let senders =
-              List.sort_uniq Node_id.compare (List.map (fun m -> m.sender) g.store)
-            in
             g.stable_floor <-
-              List.fold_left (fun acc sender -> Node_id.Map.add sender (floor_for sender) acc) Node_id.Map.empty
-                senders;
-            g.store <-
-              List.filter (fun msg -> msg.seq >= delivered_count g.stable_floor msg.sender) g.store
+              Node_id.Map.fold
+                (fun sender _ acc -> Node_id.Map.add sender (floor_for sender) acc)
+                g.store Node_id.Map.empty;
+            (* per-sender deques are seq-ascending: everything below the
+               floor sits at the front, so pruning pops O(pruned) *)
+            Node_id.Map.iter
+              (fun sender dq ->
+                let floor = delivered_count g.stable_floor sender in
+                let rec prune () =
+                  match Deque.peek_front dq with
+                  | Some msg when msg.seq < floor ->
+                      ignore (Deque.pop_front dq);
+                      g.store_count <- g.store_count - 1;
+                      prune ()
+                  | Some _ | None -> ()
+                in
+                prune ())
+              g.store;
+            g.store <- Node_id.Map.filter (fun _ dq -> not (Deque.is_empty dq)) g.store
           end
       | Some _ | None -> ())
 
@@ -916,12 +955,14 @@ let join ?(ordering = Fifo) t group =
           delivered = Node_id.Map.empty;
           to_delivered = Node_id.Map.empty;
           to_stamped = Node_id.Map.empty;
-          store = [];
+          store = Node_id.Map.empty;
+          store_count = 0;
+          store_peak = 0;
           stable_floor = Node_id.Map.empty;
           peer_delivered = Node_id.Map.empty;
           frozen = [];
           outbox = [];
-          to_pending = [];
+          to_pending = Deque.create ();
           joiners = Node_id.Set.empty;
           leavers = Node_id.Set.empty;
           foreign = [];
@@ -973,7 +1014,9 @@ let groups t =
   Hashtbl.fold (fun group g acc -> if g.view <> None then group :: acc else acc) t.states []
   |> List.sort Gid.compare
 
-let store_size t group = match lookup t group with Some g -> List.length g.store | None -> 0
+let store_size t group = match lookup t group with Some g -> g.store_count | None -> 0
+
+let store_peak t group = match lookup t group with Some g -> g.store_peak | None -> 0
 
 let am_coordinator t group =
   match view_of t group with Some view -> View.coordinator view = t.node | None -> false

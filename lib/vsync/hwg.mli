@@ -109,4 +109,9 @@ val am_coordinator : t -> Gid.t -> bool
 
 val store_size : t -> Gid.t -> int
 (** Messages currently retained for flush-time retransmission in the
-    group's view (introspection; exercised by the stability-GC tests). *)
+    group's view (introspection; exercised by the stability-GC tests).
+    O(1): a counter, not a list walk. *)
+
+val store_peak : t -> Gid.t -> int
+(** Lifetime high-water mark of {!store_size} for the group (spans view
+    changes; used by the macro benchmark to report peak memory). *)

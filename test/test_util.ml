@@ -1,5 +1,6 @@
-(* Unit and property tests for Plwg_util: Rng determinism/statistics and
-   Heap ordering. *)
+(* Unit and property tests for Plwg_util: Rng determinism/statistics,
+   Heap ordering, and the Deque/Seqbuf hot-path structures checked
+   against naive list reference implementations. *)
 
 open Plwg_util
 
@@ -153,6 +154,157 @@ let test_heap_to_list_excludes_popped () =
   ignore (Heap.pop heap);
   Alcotest.(check (list int)) "popped element gone" [ 3; 5 ] (List.sort Int.compare (Heap.to_list heap))
 
+(* --- Deque vs a plain list (front first) ------------------------- *)
+
+let test_deque_basic () =
+  let dq = Deque.create () in
+  Alcotest.(check bool) "empty" true (Deque.is_empty dq);
+  Deque.push_back dq 1;
+  Deque.push_back dq 2;
+  Deque.push_back dq 3;
+  Alcotest.(check int) "length" 3 (Deque.length dq);
+  Alcotest.(check (option int)) "peek" (Some 1) (Deque.peek_front dq);
+  Alcotest.(check int) "get 2" 3 (Deque.get dq 2);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Deque.to_list dq);
+  Alcotest.(check (option int)) "pop" (Some 1) (Deque.pop_front dq);
+  Alcotest.(check (list int)) "after pop" [ 2; 3 ] (Deque.to_list dq);
+  Deque.clear dq;
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop_front dq)
+
+let test_deque_wraparound () =
+  (* force the head past the physical end of the backing array *)
+  let dq = Deque.create () in
+  for i = 0 to 15 do
+    Deque.push_back dq i
+  done;
+  for _ = 0 to 11 do
+    ignore (Deque.pop_front dq)
+  done;
+  for i = 16 to 27 do
+    Deque.push_back dq i
+  done;
+  Alcotest.(check (list int)) "order across wrap" (List.init 16 (fun i -> i + 12)) (Deque.to_list dq)
+
+let test_deque_filter_in_place () =
+  let dq = Deque.create () in
+  for i = 0 to 9 do
+    Deque.push_back dq i
+  done;
+  Deque.filter_in_place (fun x -> x mod 2 = 0) dq;
+  Alcotest.(check (list int)) "evens, order kept" [ 0; 2; 4; 6; 8 ] (Deque.to_list dq);
+  Deque.push_back dq 10;
+  Alcotest.(check (list int)) "usable after filter" [ 0; 2; 4; 6; 8; 10 ] (Deque.to_list dq)
+
+(* Random push/pop/ack-prune sequences against the list model, driven by
+   a seeded Rng so failures replay exactly. *)
+let prop_deque_matches_list_model =
+  QCheck.Test.make ~name:"deque: random op sequence matches list model" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_range 1 400))
+    (fun (seed, n_ops) ->
+      let rng = Rng.create ~seed in
+      let dq = Deque.create () in
+      let model = ref [] in
+      let ok = ref true in
+      let agree () =
+        ok :=
+          !ok
+          && Deque.to_list dq = !model
+          && Deque.length dq = List.length !model
+          && Deque.peek_front dq = (match !model with [] -> None | x :: _ -> Some x)
+      in
+      for _ = 1 to n_ops do
+        (match Rng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 ->
+            let x = Rng.int rng 1000 in
+            Deque.push_back dq x;
+            model := !model @ [ x ]
+        | 5 | 6 -> (
+            let popped = Deque.pop_front dq in
+            match !model with
+            | [] -> ok := !ok && popped = None
+            | x :: rest ->
+                model := rest;
+                ok := !ok && popped = Some x)
+        | 7 ->
+            (* cumulative-ack-style prune: drop the front while < k *)
+            let k = Rng.int rng 1000 in
+            let rec prune () =
+              match Deque.peek_front dq with
+              | Some x when x < k ->
+                  ignore (Deque.pop_front dq);
+                  prune ()
+              | Some _ | None -> ()
+            in
+            prune ();
+            let rec model_prune = function x :: rest when x < k -> model_prune rest | m -> m in
+            model := model_prune !model
+        | 8 ->
+            let keep = Rng.int rng 2 = 0 in
+            Deque.filter_in_place (fun x -> (x mod 2 = 0) = keep) dq;
+            model := List.filter (fun x -> (x mod 2 = 0) = keep) !model
+        | _ ->
+            if !model <> [] then begin
+              let i = Rng.int rng (List.length !model) in
+              ok := !ok && Deque.get dq i = List.nth !model i
+            end);
+        agree ()
+      done;
+      !ok)
+
+(* --- Seqbuf vs a sorted association list ------------------------- *)
+
+let test_seqbuf_basic () =
+  let buf = Seqbuf.create () in
+  Alcotest.(check bool) "empty" true (Seqbuf.is_empty buf);
+  Seqbuf.add buf 5 "e";
+  Seqbuf.add buf 2 "b";
+  Seqbuf.add buf 2 "DUP";
+  Alcotest.(check int) "duplicate seq ignored" 2 (Seqbuf.length buf);
+  Alcotest.(check (option (pair int string))) "min" (Some (2, "b")) (Seqbuf.min_opt buf);
+  Seqbuf.remove_min buf;
+  Alcotest.(check (option (pair int string))) "next min" (Some (5, "e")) (Seqbuf.min_opt buf);
+  Seqbuf.clear buf;
+  Alcotest.(check bool) "cleared" true (Seqbuf.is_empty buf)
+
+let prop_seqbuf_matches_list_model =
+  QCheck.Test.make ~name:"seqbuf: random op sequence matches sorted-assoc model" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_range 1 300))
+    (fun (seed, n_ops) ->
+      let rng = Rng.create ~seed in
+      let buf = Seqbuf.create () in
+      let model = ref [] (* sorted by seq, first arrival wins *) in
+      let ok = ref true in
+      let model_add seq x =
+        if not (List.mem_assoc seq !model) then
+          model := List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, x) :: !model)
+      in
+      for _ = 1 to n_ops do
+        (match Rng.int rng 8 with
+        | 0 | 1 | 2 | 3 ->
+            (* small key range so duplicate arrivals actually happen *)
+            let seq = Rng.int rng 40 in
+            let x = Rng.int rng 1000 in
+            Seqbuf.add buf seq x;
+            model_add seq x
+        | 4 | 5 -> (
+            Seqbuf.remove_min buf;
+            match !model with [] -> () | _ :: rest -> model := rest)
+        | 6 ->
+            let seq = Rng.int rng 40 in
+            ok := !ok && Seqbuf.mem buf seq = List.mem_assoc seq !model
+        | _ ->
+            if Rng.int rng 20 = 0 then begin
+              Seqbuf.clear buf;
+              model := []
+            end);
+        ok :=
+          !ok
+          && Seqbuf.to_list buf = !model
+          && Seqbuf.length buf = List.length !model
+          && Seqbuf.min_opt buf = (match !model with [] -> None | entry :: _ -> Some entry)
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -172,4 +324,10 @@ let suite =
     Alcotest.test_case "heap to_list excludes popped" `Quick test_heap_to_list_excludes_popped;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_heap_size;
+    Alcotest.test_case "deque basic" `Quick test_deque_basic;
+    Alcotest.test_case "deque wraparound" `Quick test_deque_wraparound;
+    Alcotest.test_case "deque filter_in_place" `Quick test_deque_filter_in_place;
+    Alcotest.test_case "seqbuf basic" `Quick test_seqbuf_basic;
+    QCheck_alcotest.to_alcotest prop_deque_matches_list_model;
+    QCheck_alcotest.to_alcotest prop_seqbuf_matches_list_model;
   ]
