@@ -175,8 +175,110 @@ let stress_cmd =
     (Cmd.info "stress" ~doc:"Random partition/heal schedules; checks convergence and invariants.")
     Term.(const run $ seed_arg $ runs_arg $ nodes_arg $ trace_arg $ metrics_arg)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.") in
+  let runs_arg = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"RUNS" ~doc:"Number of generated schedules.") in
+  let profile_arg =
+    let doc = "Intensity profile: quick, default or heavy." in
+    Arg.(value & opt string "default" & info [ "profile" ] ~docv:"PROFILE" ~doc)
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorthand for --profile quick (the smoke-campaign setting).")
+  in
+  let shrink_arg =
+    Arg.(value & flag & info [ "shrink" ] ~doc:"On failure, minimize the first failing schedule with ddmin.")
+  in
+  let replay_arg =
+    let doc = "Replay a repro artifact (as written by --shrink) instead of generating a campaign." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Where --shrink writes the repro artifact." in
+    Arg.(value & opt string "chaos_repro.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let module Chaos = Plwg_harness.Chaos in
+  let print_verdict v =
+    Printf.printf "run %3d  seed %-10d %-8s %2d steps  %s\n%!" v.Chaos.run v.Chaos.schedule.Chaos.seed
+      (Chaos.mode_to_string v.Chaos.schedule.Chaos.mode)
+      (List.length v.Chaos.schedule.Chaos.script)
+      (if v.Chaos.failures = [] then "ok" else "FAILED");
+    List.iter (fun f -> Printf.printf "         %s\n" f) v.Chaos.failures
+  in
+  let replay file metrics_reg on_trace =
+    let json = Plwg_obs.Json.of_string (In_channel.with_open_text file In_channel.input_all) in
+    match Chaos.of_repro_json json with
+    | Error msg ->
+        Printf.eprintf "chaos: cannot replay %s: %s\n" file msg;
+        exit 2
+    | Ok schedule ->
+        let verdict = Chaos.run_schedule ?metrics:metrics_reg ?on_trace schedule in
+        print_verdict verdict;
+        verdict.Chaos.failures <> []
+  in
+  let run seed runs profile_name quick do_shrink replay_file out trace metrics =
+    let metrics_reg = if metrics then Some (Plwg_obs.Metrics.create ()) else None in
+    let trace_oc = Option.map open_out trace in
+    let on_trace =
+      Option.map
+        (fun oc entries ->
+          List.iter (fun e -> output_string oc (Plwg_obs.Json.to_string (Plwg_obs.Event.to_json e) ^ "\n")) entries)
+        trace_oc
+    in
+    let any_failed =
+      match replay_file with
+      | Some file -> replay file metrics_reg on_trace
+      | None ->
+          let profile =
+            match Chaos.profile_of_string (if quick then "quick" else profile_name) with
+            | Ok p -> p
+            | Error msg ->
+                Printf.eprintf "chaos: %s\n" msg;
+                exit 2
+          in
+          let report =
+            Chaos.campaign ?metrics:metrics_reg ?on_trace ~on_verdict:print_verdict ~seed ~runs profile
+          in
+          let failed = Chaos.failed report in
+          Printf.printf "%d/%d schedules passed the convergence + safety oracles\n" (runs - List.length failed) runs;
+          (match (failed, do_shrink) with
+          | worst :: _, true ->
+              Printf.printf "shrinking run %d (seed %d, %d steps)...\n%!" worst.Chaos.run
+                worst.Chaos.schedule.Chaos.seed
+                (List.length worst.Chaos.schedule.Chaos.script);
+              let minimized =
+                Chaos.shrink
+                  ~fails:(fun s -> (Chaos.run_schedule s).Chaos.failures <> [])
+                  worst.Chaos.schedule
+              in
+              Out_channel.with_open_text out (fun oc ->
+                  output_string oc (Plwg_obs.Json.to_string (Chaos.to_repro_json minimized));
+                  output_char oc '\n');
+              Printf.printf "minimized to %d steps; replay with: plwg_cli chaos --replay %s\n"
+                (List.length minimized.Chaos.script) out
+          | _ -> ());
+          failed <> []
+    in
+    (match trace_oc with
+    | Some oc ->
+        close_out oc;
+        Printf.printf "trace: written to %s\n" (Option.get trace)
+    | None -> ());
+    (match metrics_reg with Some m -> Plwg_obs.Metrics.report Format.std_formatter m | None -> ());
+    if any_failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded chaos campaign: random crash/partition/loss schedules judged by convergence and safety oracles, \
+          with ddmin schedule shrinking.")
+    Term.(
+      const run $ seed_arg $ runs_arg $ profile_arg $ quick_arg $ shrink_arg $ replay_arg $ out_arg $ trace_arg
+      $ metrics_arg)
+
 let main_cmd =
   let doc = "Partitionable Light-Weight Groups (Rodrigues & Guo, ICDCS 2000) - reproduction driver" in
-  Cmd.group (Cmd.info "plwg" ~version:"1.0.0" ~doc) [ figure2_cmd; scenario_cmd; ablation_cmd; stress_cmd ]
+  Cmd.group (Cmd.info "plwg" ~version:"1.0.0" ~doc) [ figure2_cmd; scenario_cmd; ablation_cmd; stress_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -5,6 +5,22 @@
 open Plwg_sim
 open Plwg_vsync.Types
 
+(** Carrier-lineage tag attached to merge-round contributions.  Two
+    holders of the same LWG view id are guaranteed to have delivered
+    the same messages in it only if their carrier histories since its
+    install are equivalent: either both stayed on the mainline, or
+    both were cut off together (same side branch, readmitted by the
+    same carrier merge).  Structural equality of this tag encodes that
+    equivalence; holders with different tags must not share the
+    transition into a merged view. *)
+type lineage =
+  | L_continuous  (** carrier history linear since the view was installed *)
+  | L_cut of { at : View_id.t; from : View_id.t }
+      (** first discontinuity: readmitted at carrier view [at] while
+          still holding carrier view [from] of a superseded branch *)
+  | L_rejoined of Node_id.t
+      (** crash recovery: a history no other node can share *)
+
 type Payload.t +=
   | L_data of {
       lwg : Gid.t;
@@ -36,8 +52,9 @@ type Payload.t +=
       (** Periodic local peer discovery (Section 6.3); full views, so a
           node that abandoned a group can notice it is still listed. *)
   | L_merge_views  (** Paper Figure 5: request a merge round on this HWG. *)
-  | L_all_views of { from : Node_id.t; views : (Gid.t * View.t) list }
-      (** Paper Figure 5's ALL-VIEWS / MAPPED-VIEWS. *)
+  | L_all_views of { from : Node_id.t; views : (Gid.t * View.t * lineage) list }
+      (** Paper Figure 5's ALL-VIEWS / MAPPED-VIEWS, each view tagged
+          with the sender's carrier lineage since it was installed. *)
   | L_arrived of { lwg : Gid.t; node : Node_id.t }
       (** Switch protocol: a member reached the target HWG. *)
   | L_state of { lwg : Gid.t; lview : View_id.t; recipients : Node_id.t list; state : Payload.t }

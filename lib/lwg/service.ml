@@ -82,12 +82,19 @@ type lstate = {
   mutable awaiting_state : Time.t option; (* joiner holding deliveries until L_state (or grace) *)
   mutable pending_joiners : Node_id.Set.t;
   mutable pending_leavers : Node_id.Set.t;
+  mutable lineage : lineage;
+      (* carrier history since this view was installed.  Anything but
+         [L_continuous] means the view may have been superseded (or its
+         deliveries diverged) elsewhere: this node must not mint
+         successor ids from it and must reconcile through a merge
+         round, where the tag keeps divergent cohorts in separate
+         transitions (see [compute_merges]). *)
 }
 
 type hstate = {
   hgid : Gid.t;
   mutable hview : View.t option;
-  mutable all_views : (Gid.t * View.t) list Node_id.Map.t;
+  mutable all_views : (Gid.t * View.t * lineage) list Node_id.Map.t;
   mutable sent_all_views : bool;
   mutable forwards : Gid.t Gid.Map.t;
   mutable empty_since : Time.t option;
@@ -240,6 +247,7 @@ let lseq_floor_of t lwg = try Hashtbl.find t.lseq_floor lwg with Not_found -> 0
 
 let install_lview t (l : lstate) view =
   note_lseq t l.lwg view.View.id.View_id.seq;
+  l.lineage <- L_continuous;
   (match l.view with Some old -> l.ancestors <- View_id.Set.add old.View.id l.ancestors | None -> ());
   l.view <- Some view;
   l.next_seq <- 0;
@@ -256,9 +264,10 @@ let install_lview t (l : lstate) view =
           members = view.View.members;
         });
   t.callbacks.on_view l.lwg view;
-  (* feed traffic that raced ahead of the install *)
+  (* feed traffic that raced ahead of the install; entries for views
+     that meanwhile became ancestors can never be replayed — drop them *)
   let early, rest = List.partition (fun (vid, _) -> View_id.equal vid view.View.id) l.pend_new in
-  l.pend_new <- rest;
+  l.pend_new <- List.filter (fun (vid, _) -> not (View_id.Set.mem vid l.ancestors)) rest;
   let early = List.sort (fun (_, (_, a, _, _, _)) (_, (_, b, _, _, _)) -> Int.compare a b) early in
   List.iter
     (fun (_, (src, seq, local, vc, body)) ->
@@ -489,7 +498,12 @@ let handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body =
       | Some _ when View_id.Set.mem lview l.ancestors -> () (* stale: already cut *)
       | Some _ ->
           (* a concurrent view of my LWG shares this HWG: local peer
-             discovery (Section 6.3) -> merge-views (Figure 5) *)
+             discovery (Section 6.3) -> merge-views (Figure 5).  The
+             tag may also be a view of my own lineage that peers
+             installed moments before I do (the shrink races the data
+             under loss): buffer the message so the install replays it
+             instead of silently cutting it from the view. *)
+          l.pend_new <- (lview, (src, seq, local, vc, body)) :: l.pend_new;
           request_merge t carrier
       | None -> ())
 
@@ -501,9 +515,11 @@ let my_views_on t carrier =
   Hashtbl.fold
     (fun _ (l : lstate) acc ->
       match (l.hwg, l.view, l.status) with
-      | Some h, Some view, (L_normal | L_stopped) when Gid.equal h carrier -> (l.lwg, view) :: acc
+      | Some h, Some view, (L_normal | L_stopped) when Gid.equal h carrier -> (l.lwg, view, l.lineage) :: acc
       | _, _, _ -> acc)
     t.lstates []
+
+let my_plain_views_on t carrier = List.map (fun (lwg, view, _) -> (lwg, view)) (my_views_on t carrier)
 
 let handle_merge_views t ~carrier =
   let hs = hstate_of t carrier in
@@ -517,89 +533,181 @@ let handle_all_views t ~carrier ~from ~views =
   let hs = hstate_of t carrier in
   hs.all_views <- Node_id.Map.add from views hs.all_views
 
+(* EVS-style transitional step.  [holders] are the merge contributors
+   of my current view id; sub-cohorts sharing a lineage value were
+   synchronised by their common carrier, divergent sub-cohorts were
+   not, so only ONE sub-cohort may install the merged view directly —
+   the others bridge through a transitional view first, keeping their
+   possibly-divergent deliveries out of the direct transition.  The
+   direct sub-cohort is the continuous one, else the one with the
+   smallest member.  Every choice is a function of ALL-VIEWS, so all
+   flush participants agree. *)
+let transitional_of ~holders ~seq ~lwg node (mine : View.t) =
+  match holders with
+  | [] | [ _ ] -> None
+  | _ -> (
+      match List.find_opt (fun (n, _, _) -> Node_id.equal n node) holders with
+      | None -> None
+      | Some (_, _, my_lin) ->
+          if List.for_all (fun (_, _, k) -> k = my_lin) holders then None
+          else
+            let direct =
+              if List.exists (fun (_, _, k) -> k = L_continuous) holders then L_continuous
+              else (
+                match List.sort (fun (a, _, _) (b, _, _) -> Node_id.compare a b) holders with
+                | (_, _, k) :: _ -> k
+                | [] -> my_lin)
+            in
+            if my_lin = direct then None
+            else
+              let sub =
+                List.filter_map (fun (n, _, k) -> if k = my_lin then Some n else None) holders
+                |> List.sort_uniq Node_id.compare
+              in
+              (match sub with
+              | [] -> None
+              | tcoord :: _ ->
+                  Some (View.make ~id:{ View_id.coord = tcoord; seq } ~group:lwg ~members:sub ~preds:[ mine.View.id ])))
+
 (* At the flush synchronisation point every continuing member holds the
    same ALL-VIEWS set, so the merge is computed deterministically and
    locally: union the concurrent views of each LWG (Figure 5 line 115). *)
 let compute_merges t hs hview =
   let present = View.members_set hview in
-  let by_lwg : (Gid.t, View.t list) Hashtbl.t = Hashtbl.create 8 in
+  (* The minted id dominates every live lineage only if every present
+     member contributed its views (a member that never saw the
+     merge-views request — a straggler computing at a different flush,
+     or a node that joined the carrier mid-round — may hold a newer
+     view than any in the set, and minting max+1 from a partial set
+     can duplicate an id minted elsewhere).  An incomplete round is
+     abandoned; the lineage latch in [handle_hwg_view] reopens it. *)
+  if not (Node_id.Set.for_all (fun n -> Node_id.Map.mem n hs.all_views) present) then ()
+  else begin
+  let by_lwg : (Gid.t, (Node_id.t * View.t * lineage) list) Hashtbl.t = Hashtbl.create 8 in
   Node_id.Map.iter
-    (fun _ views ->
+    (fun from views ->
       List.iter
-        (fun (lwg, view) ->
+        (fun (lwg, view, lin) ->
           let known = try Hashtbl.find by_lwg lwg with Not_found -> [] in
-          if not (List.exists (fun v -> View_id.equal v.View.id view.View.id) known) then
-            Hashtbl.replace by_lwg lwg (view :: known))
+          Hashtbl.replace by_lwg lwg ((from, view, lin) :: known))
         views)
     hs.all_views;
   Hashtbl.iter
-    (fun lwg views ->
+    (fun lwg contribs ->
+      let views =
+        List.fold_left
+          (fun acc (_, v, _) ->
+            if List.exists (fun v' -> View_id.equal v'.View.id v.View.id) acc then acc else v :: acc)
+          [] contribs
+      in
       let relevant =
         List.filter (fun v -> not (Node_id.Set.is_empty (Node_id.Set.inter (View.members_set v) present))) views
       in
-      match relevant with
-      | [] | [ _ ] -> ()
-      | _ -> (
-          let members =
-            Node_id.Set.inter
-              (List.fold_left (fun acc v -> Node_id.Set.union acc (View.members_set v)) Node_id.Set.empty relevant)
-              present
-          in
-          match Node_id.Set.elements members with
-          | [] -> ()
-          | coord :: _ as member_list ->
-              if Node_id.Set.mem t.node members then begin
-                match lstate_of t lwg with
-                | Some l ->
-                    let max_seq = List.fold_left (fun acc v -> max acc v.View.id.View_id.seq) 0 relevant in
-                    let preds = List.map (fun v -> v.View.id) relevant in
-                    let view =
-                      View.make ~id:{ View_id.coord; seq = max_seq + 1 } ~group:lwg ~members:member_list ~preds
-                    in
-                    (match l.view with
-                    | Some mine when List.exists (View_id.equal mine.View.id) preds ->
-                        Logs.debug (fun m -> m "n%d lwg-merge %s on %s" t.node (Gid.to_string lwg) (Gid.to_string hs.hgid));
-                        List.iter (fun vid -> l.ancestors <- View_id.Set.add vid l.ancestors) preds;
-                        t.merges <- t.merges + 1;
-                        Engine.count t.engine "lwg.merges";
-                        Engine.trace t.engine (fun () ->
-                            Plwg_obs.Event.Reconcile_step
-                              { node = t.node; step = Plwg_obs.Event.Merge_views; group = Gid.to_string lwg });
-                        install_lview t l view;
-                        l.status <- L_normal;
-                        end_lflush t l ~outcome:"superseded";
-                        ns_set_view t l view;
-                        drain_outbox t l
-                    | Some _ | None -> ())
-                | None -> ()
-              end))
+      let holders vid = List.filter (fun (_, v, _) -> View_id.equal v.View.id vid) contribs in
+      let divergent vid =
+        match holders vid with
+        | [] | [ _ ] -> false
+        | (_, _, k0) :: rest -> List.exists (fun (_, _, k) -> k <> k0) rest
+      in
+      let needs_merge =
+        match relevant with
+        | [] -> false
+        (* a single fully-present view held along one lineage needs no
+           merge.  Absent members or divergent holders still get
+           resolved HERE rather than in [shrink_check]: its holders may
+           be recovered or readmitted nodes, and minting from a
+           possibly superseded view locally is unsafe *)
+        | [ v ] -> (not (Node_id.Set.subset (View.members_set v) present)) || divergent v.View.id
+        | _ -> true
+      in
+      if needs_merge then
+        let members =
+          Node_id.Set.inter
+            (List.fold_left (fun acc v -> Node_id.Set.union acc (View.members_set v)) Node_id.Set.empty relevant)
+            present
+        in
+        match Node_id.Set.elements members with
+        | [] -> ()
+        | coord :: _ as member_list ->
+            if Node_id.Set.mem t.node members then begin
+              match lstate_of t lwg with
+              | Some l ->
+                  let max_seq = List.fold_left (fun acc v -> max acc v.View.id.View_id.seq) 0 relevant in
+                  (* when any contributed view has divergent holders,
+                     leave room below the merged view's seq for their
+                     transitional bridges (per-node installed seqs must
+                     be strictly increasing) *)
+                  let any_divergent = List.exists (fun v -> divergent v.View.id) relevant in
+                  let seq_new = max_seq + if any_divergent then 2 else 1 in
+                  let preds = List.map (fun v -> v.View.id) relevant in
+                  let view =
+                    View.make ~id:{ View_id.coord; seq = seq_new } ~group:lwg ~members:member_list ~preds
+                  in
+                  (match l.view with
+                  | Some mine when List.exists (View_id.equal mine.View.id) preds ->
+                      Logs.debug (fun m -> m "n%d lwg-merge %s on %s" t.node (Gid.to_string lwg) (Gid.to_string hs.hgid));
+                      List.iter (fun vid -> l.ancestors <- View_id.Set.add vid l.ancestors) preds;
+                      t.merges <- t.merges + 1;
+                      Engine.count t.engine "lwg.merges";
+                      Engine.trace t.engine (fun () ->
+                          Plwg_obs.Event.Reconcile_step
+                            { node = t.node; step = Plwg_obs.Event.Merge_views; group = Gid.to_string lwg });
+                      (match
+                         transitional_of ~holders:(holders mine.View.id) ~seq:(max_seq + 1) ~lwg t.node mine
+                       with
+                      | Some tview -> install_lview t l tview
+                      | None -> ());
+                      install_lview t l view;
+                      l.status <- L_normal;
+                      end_lflush t l ~outcome:"superseded";
+                      ns_set_view t l view;
+                      drain_outbox t l
+                  | Some _ | None -> ())
+              | None -> ()
+            end)
     by_lwg
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reactions to HWG view changes                                       *)
 (* ------------------------------------------------------------------ *)
 
-let shrink_check t (l : lstate) hview =
+let shrink_check t (l : lstate) hview ~continuous =
   match (l.status, l.view) with
   | (L_normal | L_stopped), Some view ->
       let present = View.members_set hview in
       let members = View.members_set view in
       if not (Node_id.Set.subset members present) then begin
-        (* survivors compute the same shrunken view without messages:
-           the HWG flush already synchronised delivery *)
-        end_lflush t l ~outcome:"superseded";
-        match Node_id.Set.elements (Node_id.Set.inter members present) with
-        | [] -> ()
-        | coord :: _ as member_list ->
-            let view' =
-              View.make
-                ~id:{ View_id.coord; seq = view.View.id.View_id.seq + 1 }
-                ~group:l.lwg ~members:member_list ~preds:[ view.View.id ]
-            in
-            install_lview t l view';
-            l.status <- L_normal;
-            ns_set_view t l view';
-            drain_outbox t l
+        if l.lineage <> L_continuous || not continuous then
+          (* A node whose history has a gap — crash recovery, or a
+             carrier view that is not the linear successor of the one
+             it last held (exclusion by false suspicion, HWG merge) —
+             may hold an LWG view the mainline already shrank along a
+             different cut, so minting [view.seq + 1] here can
+             duplicate a view id that exists with other members.
+             Reconcile through the flush-synchronised merge round
+             instead: every participant contributes its current view,
+             so the minted id dominates all of them. *)
+          match l.hwg with
+          | Some carrier -> request_merge t carrier
+          | None -> ()
+        else begin
+          (* survivors compute the same shrunken view without messages:
+             the HWG flush already synchronised delivery *)
+          end_lflush t l ~outcome:"superseded";
+          match Node_id.Set.elements (Node_id.Set.inter members present) with
+          | [] -> ()
+          | coord :: _ as member_list ->
+              let view' =
+                View.make
+                  ~id:{ View_id.coord; seq = view.View.id.View_id.seq + 1 }
+                  ~group:l.lwg ~members:member_list ~preds:[ view.View.id ]
+              in
+              install_lview t l view';
+              l.status <- L_normal;
+              ns_set_view t l view';
+              drain_outbox t l
+        end
       end
   | _, _ -> ()
 
@@ -615,7 +723,47 @@ let abort_stale_flush t (l : lstate) hview =
 
 let handle_hwg_view t hgid hview =
   let hs = hstate_of t hgid in
+  let prev = hs.hview in
+  (* The messageless LWG shrink is sound only along a linear carrier
+     history: every present member then came from the same previous
+     carrier view, hence holds the same LWG views.  A multi-pred
+     install (HWG merge) or a pred that is not the view this node last
+     held means divergent lineages may be present. *)
+  let continuous =
+    match (prev, hview.View.preds) with
+    | Some p, [ pred ] -> View_id.equal p.View.id pred
+    | _, _ -> false
+  in
+  (* Am I arriving on the mainline of this install?  My previous view
+     must be the unique highest-seq predecessor; otherwise another
+     lineage advanced past mine while I was detached, so whatever I
+     delivered into my LWG views since they were installed may have
+     diverged from their other holders. *)
+  let mainline =
+    match prev with
+    | None -> false
+    | Some p ->
+        List.exists (View_id.equal p.View.id) hview.View.preds
+        && List.for_all
+             (fun q -> View_id.equal q p.View.id || q.View_id.seq < p.View.id.View_id.seq)
+             hview.View.preds
+  in
   hs.hview <- Some hview;
+  if not mainline then
+    Hashtbl.iter
+      (fun _ (l : lstate) ->
+        match (l.hwg, l.view, l.lineage) with
+        | Some h, Some _, L_continuous when Gid.equal h hgid ->
+            (* first discontinuity since this LWG view was installed
+               wins: carrier history shared after a divergence cannot
+               restore messages lost during it, so later cuts must not
+               overwrite the latch *)
+            l.lineage <-
+              (match prev with
+              | Some p -> L_cut { at = hview.View.id; from = p.View.id }
+              | None -> L_rejoined t.node)
+        | _, _, _ -> ())
+      t.lstates;
   (* joiners waiting for HWG membership can announce now *)
   Hashtbl.iter
     (fun _ (l : lstate) ->
@@ -630,20 +778,40 @@ let handle_hwg_view t hgid hview =
        comparable; restart discovery inside the merged view *)
     hs.all_views <- Node_id.Map.empty;
     hs.sent_all_views <- false;
-    multicast_h t hgid (L_gossip { views = my_views_on t hgid })
+    multicast_h t hgid (L_gossip { views = my_plain_views_on t hgid })
   end
   else begin
-    if not (Node_id.Map.is_empty hs.all_views) then compute_merges t hs hview;
+    (* Only nodes arriving on the mainline compute the merge: the
+       "same ALL-VIEWS at the flush point" determinism argument holds
+       among the continuing cohort only.  A detached node's set was
+       gathered in a superseded carrier view and can mint a
+       conflicting id; its latched lineage reopens the round below. *)
+    if mainline && not (Node_id.Map.is_empty hs.all_views) then compute_merges t hs hview;
     hs.all_views <- Node_id.Map.empty;
     hs.sent_all_views <- false
   end;
+  (* A divergent view whose holders all still advertise the same id is
+     invisible to gossip-based discovery; open a merge round explicitly
+     so the divergence is resolved at the next flush.  Views the merge
+     above already reconciled are back to [L_continuous] and do not
+     retrigger. *)
+  if
+    Hashtbl.fold
+      (fun _ (l : lstate) acc ->
+        acc
+        ||
+        match (l.hwg, l.view, l.status) with
+        | Some h, Some _, (L_normal | L_stopped) -> Gid.equal h hgid && l.lineage <> L_continuous
+        | _, _, _ -> false)
+      t.lstates false
+  then request_merge t hgid;
   (* deterministic shrink of LWG views that lost HWG members *)
   Hashtbl.iter
     (fun _ (l : lstate) ->
       match l.hwg with
       | Some h when Gid.equal h hgid ->
           abort_stale_flush t l hview;
-          shrink_check t l hview;
+          shrink_check t l hview ~continuous;
           try_finish_drain t l
       | Some _ | None -> ())
     t.lstates;
@@ -1006,7 +1174,7 @@ let gossip t =
   Hashtbl.iter
     (fun hgid _ ->
       if Hwg.is_member t.hwg hgid then
-        match my_views_on t hgid with
+        match my_plain_views_on t hgid with
         | [] -> ()
         | views -> multicast_h t hgid (L_gossip { views }))
     t.hstates
@@ -1043,6 +1211,7 @@ let join ?(ordering = Fifo) t lwg =
               awaiting_state = None;
               pending_joiners = Node_id.Set.empty;
               pending_leavers = Node_id.Set.empty;
+              lineage = L_continuous;
             }
           in
           Hashtbl.replace t.lstates lwg l;
@@ -1187,6 +1356,11 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
   (match mode with
   | Direct -> ()
   | Static _ | Dynamic ->
+      (* While this node was crashed the rest of each group kept
+         changing views; the frozen local views must not be used to
+         mint successor ids (see [shrink_check]). *)
+      Engine.on_recover engine node (fun () ->
+          Hashtbl.iter (fun _ (l : lstate) -> if l.view <> None then l.lineage <- L_rejoined node) t.lstates);
       let rec tick_loop () =
         if Topology.is_alive (Engine.topology engine) node then tick t;
         let (_ : Engine.cancel) = Engine.after engine (Time.ms 150) tick_loop in

@@ -4,9 +4,9 @@ open Protocol
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
 
-type config = { request_timeout : Time.span; max_attempts : int }
+type config = { request_timeout : Time.span; max_attempts : int; backoff_cap : Time.span }
 
-let default_config = { request_timeout = Time.ms 800; max_attempts = 6 }
+let default_config = { request_timeout = Time.ms 800; max_attempts = 6; backoff_cap = Time.sec 5 }
 
 type reply = Entries of (Db.entry list -> unit) | Ack of (bool -> unit)
 
@@ -15,6 +15,7 @@ type pending = {
   reply : reply;
   started : Time.t;
   mutable attempt : int;
+  mutable last_server : Node_id.t option;
   mutable timer : Engine.cancel;
 }
 
@@ -24,19 +25,34 @@ type t = {
   endpoint : Transport.endpoint;
   detector : Detector.t;
   config : config;
+  rng : Plwg_util.Rng.t;
   servers : Node_id.t list;
   mutable next_req : int;
   pending : (int, pending) Hashtbl.t;
   mutable mm_handlers : (Gid.t -> Db.entry list -> unit) list;
 }
 
-let pick_server t ~attempt =
+(* Prefer reachable replicas, and never re-hit the server that just
+   timed out when another candidate exists: a single slow or silently
+   partitioned replica must not absorb the whole retry budget. *)
+let pick_server t ~attempt ~last =
   let reachable = Detector.reachable_set t.detector in
   let preferred = List.filter (fun s -> Node_id.Set.mem s reachable) t.servers in
   let pool = if preferred = [] then t.servers else preferred in
-  match pool with
-  | [] -> None
-  | _ -> Some (List.nth pool (attempt mod List.length pool))
+  let pool =
+    match last with Some prev when List.length pool > 1 -> List.filter (fun s -> s <> prev) pool | _ -> pool
+  in
+  match pool with [] -> None | _ -> Some (List.nth pool (attempt mod List.length pool))
+
+(* Bounded exponential backoff with seeded jitter: attempt [k] waits
+   min(request_timeout * 2^k, backoff_cap) plus up to 25% jitter, so a
+   herd of clients orphaned by the same partition does not retry in
+   lock-step. *)
+let timeout_for t p =
+  let shift = min p.attempt 16 in
+  let base = min (t.config.request_timeout * (1 lsl shift)) t.config.backoff_cap in
+  let jitter = if base >= 4 then Plwg_util.Rng.int t.rng (base / 4) else 0 in
+  base + jitter
 
 (* The request is unanswerable: tell the caller so.  Reconciliation
    paths block on these continuations, so dropping the request silently
@@ -48,9 +64,10 @@ let give_up t req p =
   match p.reply with Entries k -> k [] | Ack k -> k false
 
 let rec transmit t req p =
-  match pick_server t ~attempt:p.attempt with
+  match pick_server t ~attempt:p.attempt ~last:p.last_server with
   | None -> give_up t req p (* no servers configured *)
   | Some server ->
+      p.last_server <- Some server;
       Engine.count t.engine (if p.attempt = 0 then "ns.requests" else "ns.retries");
       Engine.trace t.engine (fun () ->
           let op = Plwg_obs.Event.kind_prefix (Payload.to_string (p.make req)) in
@@ -58,7 +75,7 @@ let rec transmit t req p =
           else Plwg_obs.Event.Ns_retry { node = t.node; req; attempt = p.attempt; server });
       Transport.send t.endpoint ~dst:server (p.make req);
       p.timer <-
-        Engine.after_node t.engine t.node t.config.request_timeout (fun () ->
+        Engine.after_node t.engine t.node (timeout_for t p) (fun () ->
             if Hashtbl.mem t.pending req then begin
               p.attempt <- p.attempt + 1;
               if p.attempt >= t.config.max_attempts then give_up t req p else transmit t req p
@@ -67,7 +84,7 @@ let rec transmit t req p =
 let request t make reply =
   let req = t.next_req in
   t.next_req <- req + 1;
-  let p = { make; reply; started = Engine.now t.engine; attempt = 0; timer = (fun () -> ()) } in
+  let p = { make; reply; started = Engine.now t.engine; attempt = 0; last_server = None; timer = (fun () -> ()) } in
   Hashtbl.replace t.pending req p;
   transmit t req p
 
@@ -115,6 +132,7 @@ let create ?(config = default_config) ~transport ~detector ~servers node =
       endpoint;
       detector;
       config;
+      rng = Plwg_util.Rng.split (Engine.rng engine);
       servers;
       next_req = 0;
       pending = Hashtbl.create 16;
@@ -122,4 +140,17 @@ let create ?(config = default_config) ~transport ~detector ~servers node =
     }
   in
   Transport.on_receive endpoint (fun ~src:_ payload -> handle t payload);
+  (* A retry timer that fired while this node was crashed was skipped,
+     leaving its request pending with no timer.  On recovery, charge the
+     lost window as a timed-out attempt and resume the retry schedule. *)
+  Engine.on_recover engine node (fun () ->
+      let stuck = Hashtbl.fold (fun req p acc -> (req, p) :: acc) t.pending [] in
+      List.iter
+        (fun (req, p) ->
+          if Hashtbl.mem t.pending req then begin
+            p.timer ();
+            p.attempt <- p.attempt + 1;
+            if p.attempt >= t.config.max_attempts then give_up t req p else transmit t req p
+          end)
+        (List.sort (fun (a, _) (b, _) -> Int.compare a b) stuck));
   t

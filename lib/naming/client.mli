@@ -1,11 +1,14 @@
 (** Client stub for the naming service (paper Table 2).
 
     The three primitives are asynchronous: each takes a continuation
-    invoked with the reply.  The client targets the first reachable
-    replica (per its failure detector) and retries on timeout against
-    the next one, so requests survive replica crashes and partitions as
-    long as one replica is reachable — mirroring the paper's placement
-    assumption of "at least one server available in each partition".
+    invoked with the reply.  The client targets a reachable replica
+    (per its failure detector) and retries on timeout with bounded
+    exponential backoff plus seeded jitter, rotating to a different
+    replica whenever more than one candidate exists — so requests
+    survive replica crashes and partitions as long as one replica is
+    reachable, mirroring the paper's placement assumption of "at least
+    one server available in each partition", without a single slow
+    replica absorbing the whole retry budget.
 
     Every request terminates: once [max_attempts] time out (or no
     replica is configured) the client gives up and invokes the
@@ -19,7 +22,11 @@ open Plwg_vsync.Types
 
 type t
 
-type config = { request_timeout : Time.span; max_attempts : int }
+type config = {
+  request_timeout : Time.span;  (** timeout for the first attempt; doubles per retry *)
+  max_attempts : int;
+  backoff_cap : Time.span;  (** upper bound on the per-attempt timeout (before jitter) *)
+}
 
 val default_config : config
 

@@ -40,6 +40,10 @@ type t =
   | Healed
   | Node_crashed of { node : int }
   | Node_recovered of { node : int }
+  | Model_changed of { link_base_us : int; link_jitter_us : int; drop_ppm : int; proc_us : int }
+  | Fault_past_step of { step : string; scheduled_us : int }
+  | Chaos_schedule of { run : int; seed : int; steps : int; mode : string }
+  | Chaos_verdict of { run : int; seed : int; verdict : string; detail : string }
 
 type entry = { at_us : int; event : t }
 
@@ -74,6 +78,10 @@ let type_name = function
   | Healed -> "healed"
   | Node_crashed _ -> "node-crashed"
   | Node_recovered _ -> "node-recovered"
+  | Model_changed _ -> "model-changed"
+  | Fault_past_step _ -> "fault-past-step"
+  | Chaos_schedule _ -> "chaos-schedule"
+  | Chaos_verdict _ -> "chaos-verdict"
 
 let to_json { at_us; event } =
   let base = [ ("at_us", Json.Int at_us); ("type", Json.Str (type_name event)) ] in
@@ -116,6 +124,18 @@ let to_json { at_us; event } =
     | Healed -> []
     | Node_crashed { node } -> [ ("node", Json.Int node) ]
     | Node_recovered { node } -> [ ("node", Json.Int node) ]
+    | Model_changed { link_base_us; link_jitter_us; drop_ppm; proc_us } ->
+        [
+          ("link_base_us", Json.Int link_base_us);
+          ("link_jitter_us", Json.Int link_jitter_us);
+          ("drop_ppm", Json.Int drop_ppm);
+          ("proc_us", Json.Int proc_us);
+        ]
+    | Fault_past_step { step; scheduled_us } -> [ ("step", Json.Str step); ("scheduled_us", Json.Int scheduled_us) ]
+    | Chaos_schedule { run; seed; steps; mode } ->
+        [ ("run", Json.Int run); ("seed", Json.Int seed); ("steps", Json.Int steps); ("mode", Json.Str mode) ]
+    | Chaos_verdict { run; seed; verdict; detail } ->
+        [ ("run", Json.Int run); ("seed", Json.Int seed); ("verdict", Json.Str verdict); ("detail", Json.Str detail) ]
   in
   Json.Obj (base @ fields)
 
@@ -159,6 +179,18 @@ let of_json json =
     | "healed" -> Healed
     | "node-crashed" -> Node_crashed { node = int "node" }
     | "node-recovered" -> Node_recovered { node = int "node" }
+    | "model-changed" ->
+        Model_changed
+          {
+            link_base_us = int "link_base_us";
+            link_jitter_us = int "link_jitter_us";
+            drop_ppm = int "drop_ppm";
+            proc_us = int "proc_us";
+          }
+    | "fault-past-step" -> Fault_past_step { step = str "step"; scheduled_us = int "scheduled_us" }
+    | "chaos-schedule" -> Chaos_schedule { run = int "run"; seed = int "seed"; steps = int "steps"; mode = str "mode" }
+    | "chaos-verdict" ->
+        Chaos_verdict { run = int "run"; seed = int "seed"; verdict = str "verdict"; detail = str "detail" }
     | other -> invalid_arg ("Event.of_json: unknown type " ^ other)
   in
   { at_us; event }

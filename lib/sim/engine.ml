@@ -6,7 +6,7 @@ type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_drop
 
 type t = {
   topology : Topology.t;
-  model : Model.t;
+  mutable model : Model.t;
   rng : Plwg_util.Rng.t;
   queue : event Plwg_util.Heap.t;
   obs : Plwg_obs.t option;
@@ -19,6 +19,12 @@ type t = {
   handlers : (src:Node_id.t -> Payload.t -> unit) list array;
   frozen : (src:Node_id.t -> Payload.t -> unit) array array;
   handlers_dirty : bool array;
+  (* Per-node callbacks fired on a dead -> alive transition, so layers
+     whose timers were skipped while the node was crashed (transport
+     retransmission, pending naming requests, an in-flight flush) can
+     re-arm themselves.  Registered newest-first, fired in registration
+     order. *)
+  recover_hooks : (unit -> unit) list array;
   busy_until : Time.t array;
   mutable sent : int;
   mutable delivered : int;
@@ -42,6 +48,7 @@ let create ?obs ?(model = Model.default) ~seed ~n_nodes () =
     handlers = Array.make n_nodes [];
     frozen = Array.make n_nodes [||];
     handlers_dirty = Array.make n_nodes false;
+    recover_hooks = Array.make n_nodes [];
     busy_until = Array.make n_nodes Time.zero;
     sent = 0;
     delivered = 0;
@@ -158,16 +165,38 @@ let after t span action = make_timer t (Time.add t.now span) (fun () -> true) ac
 let after_node t node span action =
   make_timer t (Time.add t.now span) (fun () -> Topology.is_alive t.topology node) action
 
+(* Crash/recover act only on an actual state transition: crashing a
+   crashed node or recovering a live one is a silent no-op, so random
+   fault schedules can issue steps without tracking liveness. *)
 let crash t node =
-  Topology.crash t.topology node;
-  t.busy_until.(node) <- t.now;
-  count t "engine.crashes";
-  trace t (fun () -> Plwg_obs.Event.Node_crashed { node })
+  if Topology.is_alive t.topology node then begin
+    Topology.crash t.topology node;
+    t.busy_until.(node) <- t.now;
+    count t "engine.crashes";
+    trace t (fun () -> Plwg_obs.Event.Node_crashed { node })
+  end
+
+let on_recover t node hook = t.recover_hooks.(node) <- hook :: t.recover_hooks.(node)
 
 let recover t node =
-  Topology.recover t.topology node;
-  count t "engine.recoveries";
-  trace t (fun () -> Plwg_obs.Event.Node_recovered { node })
+  if not (Topology.is_alive t.topology node) then begin
+    Topology.recover t.topology node;
+    count t "engine.recoveries";
+    trace t (fun () -> Plwg_obs.Event.Node_recovered { node });
+    List.iter (fun hook -> hook ()) (List.rev t.recover_hooks.(node))
+  end
+
+let set_model t model =
+  t.model <- model;
+  count t "engine.model_swaps";
+  trace t (fun () ->
+      Plwg_obs.Event.Model_changed
+        {
+          link_base_us = model.Model.link_base;
+          link_jitter_us = model.Model.link_jitter;
+          drop_ppm = int_of_float ((model.Model.drop_prob *. 1_000_000.) +. 0.5);
+          proc_us = model.Model.proc_time;
+        })
 
 let set_partition t classes =
   Topology.set_partition t.topology classes;

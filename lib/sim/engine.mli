@@ -64,12 +64,25 @@ val after : t -> Time.span -> (unit -> unit) -> cancel
 val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
 (** Node timer: skipped if the node is crashed when it fires. *)
 
-(* Fault injection *)
+val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
+(** Register a callback fired when the node transitions from crashed to
+    alive.  [after_node] timers pending at crash time are silently
+    skipped, so layers with self-rescheduling loops or one-shot
+    retransmission timers use this to re-arm after recovery.  Hooks run
+    in registration order. *)
+
+(* Fault injection.  [crash] and [recover] act only on an actual state
+   transition — crashing a crashed node or recovering a live one is a
+   silent no-op — so fault schedules need not track liveness. *)
 
 val crash : t -> Node_id.t -> unit
 val recover : t -> Node_id.t -> unit
 val set_partition : t -> Node_id.t list list -> unit
 val heal : t -> unit
+
+val set_model : t -> Model.t -> unit
+(** Swap the network cost model mid-run (loss bursts, latency spikes).
+    Messages already in flight keep the latency drawn at send time. *)
 
 (* Execution *)
 

@@ -1,13 +1,39 @@
-(** Declarative fault scripts for experiments and tests. *)
+(** Declarative fault scripts for experiments, tests and chaos
+    campaigns. *)
 
 type step =
   | Crash of Node_id.t
   | Recover of Node_id.t
-  | Partition of Node_id.t list list  (** connectivity classes; must cover the universe *)
+  | Partition of Node_id.t list list  (** connectivity classes; disjoint and covering the universe *)
   | Heal
+  | Set_model of Model.t  (** swap the network cost model (loss burst, latency spike) *)
+
+val validate_step : n_nodes:int -> step -> (unit, string) result
+(** Static validity of a step against a universe of [n_nodes] nodes:
+    node ids in range, partition classes disjoint and covering,
+    model parameters in range.  Liveness is not checked — [Crash] of a
+    crashed node and [Recover] of a live node are valid no-ops. *)
+
+val apply : Engine.t -> step -> unit
+(** Apply one step now.  Idempotent with respect to node state (crash /
+    recover act only on an actual transition); raises [Invalid_argument]
+    if {!validate_step} rejects the step. *)
 
 val install : Engine.t -> (Time.t * step) list -> unit
-(** Schedule each step at its absolute time.  Times in the past of the
-    engine's current clock fire immediately on the next [run]. *)
+(** Schedule each step at its absolute time.  A step scheduled in the
+    past of the engine's current clock fires immediately on the next
+    [run] and emits a [Fault_past_step] trace warning. *)
 
 val pp_step : Format.formatter -> step -> unit
+
+val step_to_string : step -> string
+
+(** JSON round-trip for fault scripts, used by the chaos shrinker's
+    repro artifacts.  [Model.drop_prob] is encoded as an integer in
+    parts-per-million ([drop_ppm]). *)
+
+val step_to_json : step -> Plwg_obs.Json.t
+val step_of_json : Plwg_obs.Json.t -> step
+
+val script_to_json : (Time.t * step) list -> Plwg_obs.Json.t
+val script_of_json : Plwg_obs.Json.t -> (Time.t * step) list

@@ -227,6 +227,28 @@ let endpoint t node =
       in
       t.endpoints.(node) <- Some ep;
       Engine.subscribe t.fabric_engine node (fun ~src payload -> handle ep ~src payload);
+      (* Timers pending when this node crashed were silently skipped,
+         leaving stale [Some] timer handles: retransmission would never
+         re-arm (send only arms when [timer = None]) and a pending ack
+         would never fire while [ack_pending] stays set.  Reset both on
+         recovery so backlogs drain again. *)
+      Engine.on_recover t.fabric_engine node (fun () ->
+          Hashtbl.iter
+            (fun dst oc ->
+              if not (Deque.is_empty oc.unacked) then begin
+                (match oc.timer with Some cancel -> cancel () | None -> ());
+                oc.timer <- None;
+                oc.cur_rto <- ep.config.rto;
+                arm_timer ep ~dst oc
+              end)
+            ep.outs;
+          Hashtbl.iter
+            (fun dst ic ->
+              if ic.ack_pending then begin
+                ic.ack_pending <- false;
+                send_ack ep ~dst ic
+              end)
+            ep.ins);
       ep
 
 let send ep ~dst body =

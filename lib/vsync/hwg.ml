@@ -784,6 +784,14 @@ and handle_view_announce t ~group ~view_id ~members =
               (* concurrent view of my group: remember its members so the
                  evaluation merges us *)
               add_foreign t g members;
+              (* Only coordinators announce, so if my own coordinator has
+                 moved to a concurrent view that excludes me it will keep
+                 announcing a view I am not in while nothing ever
+                 advertises mine: an excluded member would sit in its
+                 stale view forever.  Announce my view myself so the
+                 other side's evaluation merges me back. *)
+              if (not (List.mem t.node members)) && List.mem (View.coordinator view) members then
+                broadcast t (Hw_view_announce { group = g.group; view_id = view.View.id; members = view.View.members });
               evaluate t g
           | Some _ -> ()
           | None -> add_foreign t g members))
@@ -902,35 +910,40 @@ let tick t g =
 
 let start_group_timers t g =
   let alive () = Hashtbl.mem t.states g.group in
+  (* The loops reschedule with [Engine.after] and guard the body on node
+     liveness rather than using [after_node]: an [after_node] timer that
+     fires while the node is crashed is skipped outright, which would
+     kill the loop permanently and leave the node a silent zombie after
+     recovery.  Here a crash merely suppresses the body; the first tick
+     after the node comes back resumes the protocol. *)
+  let up () = Topology.is_alive (Engine.topology t.engine) t.node in
   let rec tick_loop () =
     if alive () then begin
-      tick t g;
-      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.tick_period tick_loop in
+      if up () then tick t g;
+      let (_ : Engine.cancel) = Engine.after t.engine t.config.tick_period tick_loop in
       ()
     end
   in
   let rec announce_loop () =
     if alive () then begin
-      announce t g;
-      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.announce_period announce_loop in
+      if up () then announce t g;
+      let (_ : Engine.cancel) = Engine.after t.engine t.config.announce_period announce_loop in
       ()
     end
   in
   let rec stability_loop () =
     if alive () then begin
-      broadcast_stability t g;
-      let (_ : Engine.cancel) = Engine.after_node t.engine t.node t.config.stability_period stability_loop in
+      if up () then broadcast_stability t g;
+      let (_ : Engine.cancel) = Engine.after t.engine t.config.stability_period stability_loop in
       ()
     end
   in
   (* stagger the first firing so nodes do not tick in lock-step *)
   let jitter = Time.us (Plwg_util.Rng.int (Engine.rng t.engine) (t.config.tick_period / 2)) in
-  let (_ : Engine.cancel) = Engine.after_node t.engine t.node jitter tick_loop in
-  let (_ : Engine.cancel) = Engine.after_node t.engine t.node (jitter + (t.config.announce_period / 3)) announce_loop in
+  let (_ : Engine.cancel) = Engine.after t.engine jitter tick_loop in
+  let (_ : Engine.cancel) = Engine.after t.engine (jitter + (t.config.announce_period / 3)) announce_loop in
   if t.config.stability_period > 0 then begin
-    let (_ : Engine.cancel) =
-      Engine.after_node t.engine t.node (jitter + (t.config.stability_period / 2)) stability_loop
-    in
+    let (_ : Engine.cancel) = Engine.after t.engine (jitter + (t.config.stability_period / 2)) stability_loop in
     ()
   end
 
@@ -1070,4 +1083,13 @@ let create ?(config = default_config) ?recorder ~transport ~detector callbacks n
       | Hw_stable { group; view_id; from; delivered } -> handle_stable t ~group ~view_id ~from ~delivered
       | _ -> ());
   Detector.on_change detector (fun _peer _status -> Hashtbl.iter (fun _ g -> evaluate t g) t.states);
+  (* Timers pending when this node crashed were silently skipped, so an
+     in-flight change may have lost its deadline timer.  On recovery,
+     close it (pairing its Flush_begin) and re-evaluate every group so
+     membership restarts from current reachability. *)
+  Engine.on_recover engine node (fun () ->
+      Hashtbl.iter
+        (fun _ g -> match g.change with Some change -> cancel_change t g change ~outcome:"recovered" | None -> ())
+        t.states;
+      Hashtbl.iter (fun _ g -> evaluate t g) t.states);
   t

@@ -13,4 +13,5 @@ let () =
       ("lwg", Test_lwg.suite);
       ("reconcile", Test_reconcile.suite);
       ("harness", Test_harness.suite);
+      ("chaos", Test_chaos.suite);
     ]

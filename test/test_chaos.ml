@@ -1,0 +1,184 @@
+(* Tests for the chaos campaign engine: deterministic generation and
+   campaigns, the convergence oracle on a hand-crafted coordinator-crash
+   schedule, the schedule shrinker, repro-artifact round-trips, and
+   replay regressions for the minimized schedules that caught real
+   protocol bugs in the LWG merge path. *)
+
+open Plwg_sim
+module Event = Plwg_obs.Event
+module Json = Plwg_obs.Json
+module Chaos = Plwg_harness.Chaos
+module Stack = Plwg_harness.Stack
+module Trace_check = Plwg_harness.Trace_check
+
+let at us = Time.add Time.zero (Time.us us)
+
+(* Same (seed, mode, profile) must regenerate the same schedule, and the
+   step count must respect the profile bounds. *)
+let test_generate_deterministic () =
+  let p = Chaos.default in
+  let a = Chaos.generate ~seed:5 ~mode:Stack.Dynamic p in
+  let b = Chaos.generate ~seed:5 ~mode:Stack.Dynamic p in
+  Alcotest.(check bool) "identical schedules" true (Chaos.to_repro_json a = Chaos.to_repro_json b);
+  let steps = List.length a.Chaos.script in
+  Alcotest.(check bool) "within profile bounds" true
+    (steps >= p.Chaos.steps_lo && steps <= p.Chaos.steps_hi)
+
+(* A campaign is a pure function of (seed, runs, profile): run it twice
+   and compare the verdicts.  The quick fixed-seed campaign must also be
+   green — this is the in-tree twin of the runtest smoke campaign. *)
+let test_campaign_deterministic () =
+  let summarize (r : Chaos.report) =
+    List.map
+      (fun (v : Chaos.verdict) -> (v.Chaos.run, v.Chaos.schedule.Chaos.seed, v.Chaos.failures))
+      r.Chaos.verdicts
+  in
+  let a = Chaos.campaign ~seed:11 ~runs:6 Chaos.quick in
+  let b = Chaos.campaign ~seed:11 ~runs:6 Chaos.quick in
+  Alcotest.(check bool) "same verdicts" true (summarize a = summarize b);
+  Alcotest.(check int) "all runs pass" 0 (List.length (Chaos.failed a))
+
+(* Regression for the epoch-restart path: crash a member so the HWG
+   coordinator opens a flush, then crash the coordinator itself between
+   its flush-begin and the view install.  The survivors must restart the
+   flush under a new coordinator, the recovered nodes must rejoin, and
+   the full oracle — including flush pairing with no open flushes —
+   must pass.  The crash instant (detector timeout after the member
+   crash, plus a fraction of the observed flush span) is asserted
+   against the trace, so a timing drift fails loudly rather than
+   silently degrading the test into a post-flush crash. *)
+let test_coordinator_crash_mid_flush () =
+  let p = Chaos.quick in
+  let crash_us = 9_300_200 in
+  let t0 = 18_000_000 in
+  let schedule =
+    {
+      Chaos.seed = 42;
+      mode = Stack.Static;
+      profile = p;
+      script = [ (at 9_000_000, Fault.Crash 3); (at crash_us, Fault.Crash 0) ];
+      tail =
+        (at t0, Fault.Set_model Model.default)
+        :: List.init 4 (fun node -> (at (t0 + (100_000 * (node + 1))), Fault.Recover node))
+        @ [ (at (t0 + 600_000), Fault.Heal) ];
+    }
+  in
+  let entries = ref [] in
+  let verdict = Chaos.run_schedule ~on_trace:(fun e -> entries := e) schedule in
+  Alcotest.(check (list string)) "oracle passes" [] verdict.Chaos.failures;
+  let entries = !entries in
+  (* The coordinator (node 0) had a flush open when it was crashed. *)
+  let open_at_crash =
+    List.exists
+      (fun { Event.at_us; event } ->
+        match event with
+        | Event.Flush_begin { node = 0; group; epoch } ->
+            at_us <= crash_us
+            && not
+                 (List.exists
+                    (fun { Event.at_us = e_at; event } ->
+                      match event with
+                      | Event.Flush_end { node = 0; group = g'; epoch = e'; _ } ->
+                          g' = group && e' = epoch && e_at <= crash_us
+                      | _ -> false)
+                    entries)
+        | _ -> false)
+      entries
+  in
+  Alcotest.(check bool) "coordinator crashed mid-flush" true open_at_crash;
+  (* The survivors restarted the epoch and installed a view without the
+     two crashed nodes before the cleanup tail brought them back. *)
+  let survivors_regrouped =
+    List.exists
+      (fun { Event.at_us; event } ->
+        match event with
+        | Event.View_installed { node = 1; members = [ 1; 2 ]; _ } -> at_us > crash_us && at_us < t0
+        | _ -> false)
+      entries
+  in
+  Alcotest.(check bool) "survivors regrouped without coordinator" true survivors_regrouped;
+  Alcotest.(check (list string)) "flush pairing" [] (Trace_check.check_flush_pairing ~allow_open:false entries)
+
+(* ddmin on a synthetic predicate: of an 8-step script only the one
+   Crash 0 matters; the shrinker must strip everything else and keep the
+   schedule failing. *)
+let test_shrinker_minimizes () =
+  let base = Chaos.generate ~seed:7 ~mode:Stack.Static Chaos.quick in
+  let script =
+    [
+      (at 9_000_000, Fault.Heal);
+      (at 10_000_000, Fault.Partition [ [ 0; 1 ]; [ 2; 3 ] ]);
+      (at 11_000_000, Fault.Crash 1);
+      (at 12_000_000, Fault.Crash 0);
+      (at 13_000_000, Fault.Recover 1);
+      (at 14_000_000, Fault.Heal);
+      (at 15_000_000, Fault.Set_model Model.default);
+      (at 16_000_000, Fault.Heal);
+    ]
+  in
+  let schedule = { base with Chaos.script } in
+  let fails (s : Chaos.schedule) =
+    List.exists (fun (_, step) -> step = Fault.Crash 0) s.Chaos.script
+  in
+  Alcotest.(check bool) "original fails" true (fails schedule);
+  let minimized = Chaos.shrink ~fails schedule in
+  Alcotest.(check bool) "minimized still fails" true (fails minimized);
+  Alcotest.(check int) "minimized to one step" 1 (List.length minimized.Chaos.script);
+  (match minimized.Chaos.script with
+  | [ (_, Fault.Crash 0) ] -> ()
+  | _ -> Alcotest.fail "expected only the Crash 0 step to survive");
+  Alcotest.(check bool) "tail untouched" true (minimized.Chaos.tail = schedule.Chaos.tail)
+
+let test_repro_roundtrip () =
+  let schedule = Chaos.generate ~seed:9 ~mode:Stack.Dynamic Chaos.heavy in
+  match Chaos.of_repro_json (Chaos.to_repro_json schedule) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check bool) "round trip" true (Chaos.to_repro_json back = Chaos.to_repro_json schedule)
+
+(* Minimized schedules from campaigns that caught real bugs, embedded as
+   the repro artifacts the shrinker emitted.  Each must replay green. *)
+let replay name json () =
+  match Chaos.of_repro_json (Json.of_string json) with
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  | Ok schedule ->
+      let verdict = Chaos.run_schedule schedule in
+      Alcotest.(check (list string)) name [] verdict.Chaos.failures
+
+(* A falsely-suspected node was excluded from the carrier while the rest
+   drained their outboxes post-flush; the later merge minted one view for
+   holders whose delivered sets in the shared predecessor diverged.
+   Fixed by carrier-lineage tagging + EVS transitional views. *)
+let repro_divergent_merge =
+  {|{"schema":"plwg-chaos-repro/1","seed":332605,"mode":"dynamic","profile":"default","script":[{"at_us":12987295,"step":"partition","classes":[[5],[0,1,2,3,4,6]]},{"at_us":13244124,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":223300,"proc_us":20},{"at_us":13000000,"step":"crash","node":3}],"tail":[{"at_us":30000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":0,"proc_us":20},{"at_us":30100000,"step":"recover","node":0},{"at_us":30200000,"step":"recover","node":1},{"at_us":30300000,"step":"recover","node":2},{"at_us":30400000,"step":"recover","node":3},{"at_us":30500000,"step":"recover","node":4},{"at_us":30600000,"step":"recover","node":5},{"at_us":30700000,"step":"recover","node":6},{"at_us":30900000,"step":"partition","classes":[[0,5],[1,2,3,4,6]]}]}|}
+
+(* A mid-window crash plus a partition left one side holding a stale
+   LWG view; the post-heal merge reused its messages as if the history
+   were shared.  Fixed by the non-continuous-lineage shrink guard. *)
+let repro_stale_exclusion =
+  {|{"schema":"plwg-chaos-repro/1","seed":760231,"mode":"dynamic","profile":"default","script":[{"at_us":17000000,"step":"partition","classes":[[0,5,6,1,3,4],[2]]},{"at_us":18000000,"step":"crash","node":4},{"at_us":26000000,"step":"crash","node":3}],"tail":[{"at_us":30000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":0,"proc_us":20},{"at_us":30100000,"step":"recover","node":0},{"at_us":30200000,"step":"recover","node":1},{"at_us":30300000,"step":"recover","node":2},{"at_us":30400000,"step":"recover","node":3},{"at_us":30500000,"step":"recover","node":4},{"at_us":30600000,"step":"recover","node":5},{"at_us":30700000,"step":"recover","node":6},{"at_us":30900000,"step":"heal"}]}|}
+
+(* A recovered node ran a merge round knowing only its own pre-crash
+   view and minted a view id that collided with one minted elsewhere.
+   Fixed by requiring every present carrier member's ALL-VIEWS
+   contribution before computing merges. *)
+let repro_recovered_merge =
+  {|{"schema":"plwg-chaos-repro/1","seed":380119,"mode":"dynamic","profile":"default","script":[{"at_us":12078175,"step":"crash","node":3},{"at_us":13567088,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":206129,"proc_us":20},{"at_us":14736459,"step":"recover","node":3}],"tail":[{"at_us":30000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":0,"proc_us":20},{"at_us":30100000,"step":"recover","node":0},{"at_us":30200000,"step":"recover","node":1},{"at_us":30300000,"step":"recover","node":2},{"at_us":30400000,"step":"recover","node":3},{"at_us":30500000,"step":"recover","node":4},{"at_us":30600000,"step":"recover","node":5},{"at_us":30700000,"step":"recover","node":6},{"at_us":30900000,"step":"heal"}]}|}
+
+(* Sustained 18% message loss alone: lost L_stop/L_stop_ok rounds must
+   retry, and the merge protocol must converge once the loss clears. *)
+let repro_loss_burst =
+  {|{"schema":"plwg-chaos-repro/1","seed":118788,"mode":"dynamic","profile":"heavy","script":[{"at_us":12000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":181394,"proc_us":20}],"tail":[{"at_us":40000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":0,"proc_us":20},{"at_us":40100000,"step":"recover","node":0},{"at_us":40200000,"step":"recover","node":1},{"at_us":40300000,"step":"recover","node":2},{"at_us":40400000,"step":"recover","node":3},{"at_us":40500000,"step":"recover","node":4},{"at_us":40600000,"step":"recover","node":5},{"at_us":40700000,"step":"recover","node":6},{"at_us":40800000,"step":"recover","node":7},{"at_us":41000000,"step":"heal"}]}|}
+
+let suite =
+  [
+    Alcotest.test_case "generate is deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "campaign is deterministic and green" `Quick test_campaign_deterministic;
+    Alcotest.test_case "coordinator crash mid-flush" `Quick test_coordinator_crash_mid_flush;
+    Alcotest.test_case "shrinker minimizes to the failing step" `Quick test_shrinker_minimizes;
+    Alcotest.test_case "repro artifact round trip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "replay: divergent-history merge" `Quick (replay "divergent merge" repro_divergent_merge);
+    Alcotest.test_case "replay: stale view after exclusion" `Quick (replay "stale exclusion" repro_stale_exclusion);
+    Alcotest.test_case "replay: recovered node merge round" `Quick (replay "recovered merge" repro_recovered_merge);
+    Alcotest.test_case "replay: sustained loss burst" `Quick (replay "loss burst" repro_loss_burst);
+  ]
