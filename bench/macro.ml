@@ -25,6 +25,8 @@ open Plwg_vsync.Types
 
 type Payload.t += Bench of int
 
+(* plwg-lint: allow wall-clock â this bench measures real elapsed time on
+   purpose; protocol code never sees this clock *)
 let wall () = Unix.gettimeofday ()
 
 let us_of_s s = int_of_float (s *. 1e6)

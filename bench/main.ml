@@ -111,7 +111,7 @@ module Micro = struct
       (fun test ->
         let results = Benchmark.all cfg instances test in
         let analysis = Analyze.all ols Instance.monotonic_clock results in
-        Hashtbl.iter
+        Plwg_util.Tbl.iter_sorted ~cmp:String.compare
           (fun name ols_result ->
             match Analyze.OLS.estimates ols_result with
             | Some [ estimate ] ->
@@ -159,8 +159,11 @@ let message_breakdown () =
       | _ -> ())
     entries;
   Printf.printf "%-28s%10s%12s%12s\n" "protocol / phase" "msgs" "p50 us" "p95 us";
-  Hashtbl.fold (fun key stats acc -> (key, stats) :: acc) tally []
-  |> List.sort compare
+  Plwg_util.Tbl.bindings_sorted
+    ~cmp:(fun (pa, ha) (pb, hb) ->
+      let c = String.compare pa pb in
+      if c <> 0 then c else Bool.compare ha hb)
+    tally
   |> List.iter (fun ((proto, healed), (count, latencies)) ->
          Printf.printf "%-28s%10d%12.0f%12.0f\n"
            (Printf.sprintf "%s (%s)" proto (if healed then "post-heal" else "pre-heal"))

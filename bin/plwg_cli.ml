@@ -56,7 +56,10 @@ let scenario_cmd =
     let outcome = Plwg_harness.Scenario.run ?obs ~seed () in
     Plwg_harness.Scenario.print outcome;
     finish_obs ?trace ~metrics obs;
-    if not outcome.Plwg_harness.Scenario.converged || outcome.Plwg_harness.Scenario.trace_violations <> [] then exit 1
+    if
+      not outcome.Plwg_harness.Scenario.converged
+      || not (List.is_empty outcome.Plwg_harness.Scenario.trace_violations)
+    then exit 1
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Reproduce Tables 3-4 / Figures 3-4: the partition criss-cross walkthrough.")
@@ -152,8 +155,8 @@ let stress_cmd =
       in
       let ok =
         Plwg_harness.Stack.lwg_converged stack group
-        && Plwg_vsync.Recorder.check_all stack.Plwg_harness.Stack.recorder = []
-        && trace_violations = []
+        && List.is_empty (Plwg_vsync.Recorder.check_all stack.Plwg_harness.Stack.recorder)
+        && List.is_empty trace_violations
       in
       Printf.printf "seed %-6d %s  (peak unacked %d)\n%!" seed (if ok then "ok" else "FAILED") peak_unacked;
       List.iter (fun v -> Printf.printf "        trace: %s\n" v) trace_violations;
@@ -198,6 +201,14 @@ let chaos_cmd =
     let doc = "Where --shrink writes the repro artifact." in
     Arg.(value & opt string "chaos_repro.json" & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let determinism_arg =
+    Arg.(
+      value & flag
+      & info [ "check-determinism" ]
+          ~doc:
+            "Execute every schedule twice and byte-compare the serialized traces; a divergence fails the run. \
+             Roughly doubles campaign cost.")
+  in
   let module Chaos = Plwg_harness.Chaos in
   let print_verdict v =
     Printf.printf "run %3d  seed %-10d %-8s %2d steps  %s\n%!" v.Chaos.run v.Chaos.schedule.Chaos.seed
@@ -217,7 +228,7 @@ let chaos_cmd =
         print_verdict verdict;
         verdict.Chaos.failures <> []
   in
-  let run seed runs profile_name quick do_shrink replay_file out trace metrics =
+  let run seed runs profile_name quick do_shrink replay_file out trace metrics check_determinism =
     let metrics_reg = if metrics then Some (Plwg_obs.Metrics.create ()) else None in
     let trace_oc = Option.map open_out trace in
     let on_trace =
@@ -228,7 +239,22 @@ let chaos_cmd =
     in
     let any_failed =
       match replay_file with
-      | Some file -> replay file metrics_reg on_trace
+      | Some file ->
+          let failed = replay file metrics_reg on_trace in
+          if check_determinism then begin
+            let json = Plwg_obs.Json.of_string (In_channel.with_open_text file In_channel.input_all) in
+            match Chaos.of_repro_json json with
+            | Error _ -> failed
+            | Ok schedule -> (
+                match Chaos.check_determinism schedule with
+                | [] ->
+                    Printf.printf "replay is deterministic (traces byte-identical)\n";
+                    failed
+                | diffs ->
+                    List.iter (fun d -> Printf.printf "         %s\n" d) diffs;
+                    true)
+          end
+          else failed
       | None ->
           let profile =
             match Chaos.profile_of_string (if quick then "quick" else profile_name) with
@@ -238,7 +264,8 @@ let chaos_cmd =
                 exit 2
           in
           let report =
-            Chaos.campaign ?metrics:metrics_reg ?on_trace ~on_verdict:print_verdict ~seed ~runs profile
+            Chaos.campaign ?metrics:metrics_reg ?on_trace ~on_verdict:print_verdict ~check_determinism ~seed
+              ~runs profile
           in
           let failed = Chaos.failed report in
           Printf.printf "%d/%d schedules passed the convergence + safety oracles\n" (runs - List.length failed) runs;
@@ -275,7 +302,7 @@ let chaos_cmd =
           with ddmin schedule shrinking.")
     Term.(
       const run $ seed_arg $ runs_arg $ profile_arg $ quick_arg $ shrink_arg $ replay_arg $ out_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ determinism_arg)
 
 let main_cmd =
   let doc = "Partitionable Light-Weight Groups (Rodrigues & Guo, ICDCS 2000) - reproduction driver" in

@@ -1,0 +1,93 @@
+(* plwg-lint driver: walks .ml trees and enforces the determinism and
+   protocol-invariant rule catalog in Lint_rules.
+
+     dune exec bin/plwg_lint.exe -- [ROOTS...] [options]
+
+   Exit codes: 0 clean (possibly with warnings), 1 findings at error
+   severity (anything under lib/, or anything at all with --werror),
+   2 usage/environment errors. *)
+
+open Cmdliner
+
+let roots_arg =
+  let doc = "Directories (walked recursively) or single .ml files to lint." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench" ] & info [] ~docv:"ROOT" ~doc)
+
+let baseline_arg =
+  let doc = "Baseline file of grandfathered findings (plwg-lint-baseline/1)." in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_baseline_arg =
+  Arg.(value & flag & info [ "update-baseline" ] ~doc:"Rewrite the baseline to exactly the current findings and exit.")
+
+let format_arg =
+  let doc = "Output format: human or json." in
+  Arg.(value & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human & info [ "format" ] ~docv:"FMT" ~doc)
+
+let werror_arg = Arg.(value & flag & info [ "werror" ] ~doc:"Treat every finding as an error (the @lint alias does).")
+
+let list_rules_arg = Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
+
+let list_rules () =
+  List.iter
+    (fun rule -> Printf.printf "%-24s %s\n" (Lint_rules.name rule) (Lint_rules.describe rule))
+    Lint_rules.all;
+  0
+
+let run roots baseline_file update_baseline format werror do_list_rules =
+  if do_list_rules then list_rules ()
+  else
+    match Lint_engine.run ~roots with
+    | Error msg ->
+        prerr_endline ("plwg-lint: " ^ msg);
+        2
+    | Ok findings -> (
+        let baseline =
+          match baseline_file with
+          | None -> []
+          | Some file -> (
+              match Lint_baseline.load file with
+              | Ok entries -> entries
+              | Error msg ->
+                  prerr_endline ("plwg-lint: " ^ msg);
+                  exit 2)
+        in
+        match (update_baseline, baseline_file) with
+        | true, None ->
+            prerr_endline "plwg-lint: --update-baseline requires --baseline FILE";
+            2
+        | true, Some file ->
+            let entries =
+              List.map (fun f -> Lint_baseline.entry_of_finding f ~reason:"grandfathered by --update-baseline") findings
+            in
+            Lint_baseline.save file entries;
+            Printf.printf "plwg-lint: wrote %d finding(s) to %s\n" (List.length entries) file;
+            0
+        | false, _ ->
+            let unmasked, stale = Lint_baseline.apply baseline findings in
+            (match format with
+            | `Human ->
+                Lint_report.print_human stdout ~werror unmasked;
+                let masked = List.length findings - List.length unmasked in
+                Printf.printf "plwg-lint: %d finding(s)%s%s\n"
+                  (List.length unmasked)
+                  (if masked > 0 then Printf.sprintf " (%d baselined)" masked else "")
+                  (match Lint_report.summary unmasked with
+                  | [] -> ""
+                  | counts ->
+                      ": " ^ String.concat ", " (List.map (fun (rule, n) -> Printf.sprintf "%s %d" rule n) counts))
+            | `Json -> print_endline (Plwg_obs.Json.to_string (Lint_report.to_json ~werror unmasked)));
+            List.iter
+              (fun (e : Lint_baseline.entry) ->
+                Printf.eprintf "plwg-lint: stale baseline entry (fixed? prune it): [%s] %s: %S\n" e.rule e.file
+                  e.source_line)
+              stale;
+            if Lint_report.any_error ~werror unmasked || stale <> [] then 1 else 0)
+
+let cmd =
+  let doc = "Determinism & protocol-invariant linter for the plwg tree." in
+  Cmd.v
+    (Cmd.info "plwg_lint" ~doc)
+    Term.(const run $ roots_arg $ baseline_arg $ update_baseline_arg $ format_arg $ werror_arg $ list_rules_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -32,13 +32,13 @@ let notify t peer status =
   List.iter (fun subscriber -> subscriber peer status) (List.rev t.subscribers)
 
 let mark_reachable t peer =
-  if peer <> t.node && not (Node_id.Set.mem peer t.reachable) then begin
+  if (not (Node_id.equal peer t.node)) && not (Node_id.Set.mem peer t.reachable) then begin
     t.reachable <- Node_id.Set.add peer t.reachable;
     notify t peer Reachable
   end
 
 let mark_unreachable t peer =
-  if Node_id.Set.mem peer t.reachable && peer <> t.node then begin
+  if Node_id.Set.mem peer t.reachable && not (Node_id.equal peer t.node) then begin
     t.reachable <- Node_id.Set.remove peer t.reachable;
     notify t peer Unreachable
   end
@@ -48,7 +48,7 @@ let sweep t =
   let stale =
     Node_id.Set.filter
       (fun peer ->
-        peer <> t.node
+        (not (Node_id.equal peer t.node))
         &&
         match Hashtbl.find_opt t.last_heard peer with
         | Some heard -> Time.diff now heard > t.config.timeout
@@ -94,7 +94,7 @@ let create ?(config = default_config) transport node =
 
 let node t = t.node
 
-let status t peer = if peer = t.node || Node_id.Set.mem peer t.reachable then Reachable else Unreachable
+let status t peer = if Node_id.equal peer t.node || Node_id.Set.mem peer t.reachable then Reachable else Unreachable
 
 let reachable_set t = Node_id.Set.add t.node t.reachable
 

@@ -111,7 +111,9 @@ let anti_entropy ?(seed = 13) () =
         then detect := since ();
         if
           Stack.lwg_converged stack group
-          && Array.for_all (fun s -> Service.mapping_of s group = Some target) stack.Stack.services
+          && Array.for_all
+               (fun s -> Option.equal Gid.equal (Service.mapping_of s group) (Some target))
+               stack.Stack.services
           && List.for_all
                (fun server -> List.length (Db.read (Server.db server) group) = 1)
                stack.Stack.ns_servers

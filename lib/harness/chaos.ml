@@ -120,7 +120,7 @@ let random_partition rng n_nodes =
   let k = 2 + Rng.int rng 2 in
   let label = Array.init n_nodes (fun _ -> Rng.int rng k) in
   let classes =
-    List.init k (fun c -> List.filteri (fun node _ -> label.(node) = c) (List.init n_nodes (fun i -> i)))
+    List.init k (fun c -> List.filteri (fun node _ -> Int.equal label.(node) c) (List.init n_nodes (fun i -> i)))
   in
   Fault.Partition (List.filter (fun cls -> cls <> []) classes)
 
@@ -204,7 +204,7 @@ let app_components stack =
       if Topology.is_alive topology node then
         let component = Topology.component_of topology node in
         let app = List.filter (fun n -> List.mem n stack.Stack.app_nodes) component in
-        match app with first :: _ when first = node -> Some app | _ -> None
+        match app with first :: _ when Node_id.equal first node -> Some app | _ -> None
       else None)
     stack.Stack.app_nodes
 
@@ -236,7 +236,7 @@ let check_hwg_agreement stack =
               if not (List.for_all (fun (_, v) -> View_id.equal v.View.id first.View.id) rest) then
                 failures :=
                   Printf.sprintf "hwg %s: divergent views inside one component" (Gid.to_string gid) :: !failures
-              else if first.View.members <> List.map fst holders then
+              else if not (List.equal Node_id.equal first.View.members (List.map fst holders)) then
                 failures :=
                   Printf.sprintf "hwg %s: view members [%s] <> holders [%s]" (Gid.to_string gid)
                     (String.concat "," (List.map string_of_int first.View.members))
@@ -266,7 +266,7 @@ let check_naming stack =
         (Db.conflicts (Server.db server)))
     live_servers;
   let entry_key e = Printf.sprintf "%s@%s->%s" (Gid.to_string e.Db.lwg) (View_id.to_string e.Db.lwg_view) (Gid.to_string e.Db.hwg) in
-  let live_entries server lwg = List.sort compare (List.map entry_key (Db.read (Server.db server) lwg)) in
+  let live_entries server lwg = List.sort String.compare (List.map entry_key (Db.read (Server.db server) lwg)) in
   List.iter
     (fun a ->
       List.iter
@@ -278,7 +278,7 @@ let check_naming stack =
             let lwgs = List.sort_uniq Gid.compare (Db.lwgs (Server.db a) @ Db.lwgs (Server.db b)) in
             List.iter
               (fun lwg ->
-                if live_entries a lwg <> live_entries b lwg then
+                if not (List.equal String.equal (live_entries a lwg) (live_entries b lwg)) then
                   failures :=
                     Printf.sprintf "servers %d/%d: databases disagree on %s" (Server.node a) (Server.node b)
                       (Gid.to_string lwg)
@@ -386,6 +386,40 @@ let run_schedule ?metrics ?on_trace ?(run = 0) schedule =
   { run; schedule; failures }
 
 (* ------------------------------------------------------------------ *)
+(* Determinism check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole stack must be a pure function of the schedule.  Re-running
+   a schedule and byte-comparing the serialized traces catches any
+   nondeterminism a change to lib/ might introduce (hash-order
+   iteration, wall-clock reads, stray global RNG state) â exactly the
+   failure classes plwg-lint patrols statically. *)
+
+let trace_lines entries =
+  List.map (fun e -> Plwg_obs.Json.to_string (Plwg_obs.Event.to_json e)) entries
+
+let diff_traces ~first ~second =
+  if List.equal String.equal first second then []
+  else
+    let show = function [] -> "<end of trace>" | line :: _ -> line in
+    let rec scan i a b =
+      match (a, b) with
+      | x :: xs, y :: ys when String.equal x y -> scan (i + 1) xs ys
+      | a, b -> [ Printf.sprintf "determinism: replay diverges at trace line %d: %s vs %s" i (show a) (show b) ]
+    in
+    scan 0 first second
+
+let check_determinism ?run schedule =
+  let capture () =
+    let lines = ref [] in
+    let (_ : verdict) = run_schedule ?run ~on_trace:(fun entries -> lines := trace_lines entries) schedule in
+    !lines
+  in
+  let first = capture () in
+  let second = capture () in
+  diff_traces ~first ~second
+
+(* ------------------------------------------------------------------ *)
 (* Campaigns                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -395,12 +429,33 @@ let failed report = List.filter (fun v -> v.failures <> []) report.verdicts
 
 let mode_rotation = [| Stack.Dynamic; Stack.Static; Stack.Direct |]
 
-let campaign ?metrics ?on_trace ?(on_verdict = fun _ -> ()) ~seed ~runs profile =
+let campaign ?metrics ?on_trace ?(on_verdict = fun _ -> ()) ?(check_determinism = false) ~seed ~runs profile =
   let verdicts = ref [] in
   for i = 0 to runs - 1 do
     let mode = mode_rotation.(i mod Array.length mode_rotation) in
     let schedule = generate ~seed:(seed + (7919 * i)) ~mode profile in
+    let captured = ref [] in
+    let on_trace =
+      if not check_determinism then on_trace
+      else
+        Some
+          (fun entries ->
+            captured := trace_lines entries;
+            match on_trace with Some f -> f entries | None -> ())
+    in
     let verdict = run_schedule ?metrics ?on_trace ~run:i schedule in
+    let verdict =
+      if not check_determinism then verdict
+      else begin
+        (* silent replay: fresh metrics so the campaign's registry is
+           not double-counted, same [run] so the traces line up *)
+        let replay = ref [] in
+        let (_ : verdict) =
+          run_schedule ~on_trace:(fun entries -> replay := trace_lines entries) ~run:i schedule
+        in
+        { verdict with failures = verdict.failures @ diff_traces ~first:!captured ~second:!replay }
+      end
+    in
     on_verdict verdict;
     verdicts := verdict :: !verdicts
   done;

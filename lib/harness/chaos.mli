@@ -72,17 +72,27 @@ val run_schedule :
 
 type report = { runs : int; verdicts : verdict list (** chronological *) }
 
+val check_determinism : ?run:int -> schedule -> string list
+(** Execute [schedule] twice and byte-compare the serialized traces;
+    returns determinism-failure strings (empty = both executions
+    produced identical traces).  Each call is two full runs. *)
+
 val campaign :
   ?metrics:Plwg_obs.Metrics.t ->
   ?on_trace:(Plwg_obs.Event.entry list -> unit) ->
   ?on_verdict:(verdict -> unit) ->
+  ?check_determinism:bool ->
   seed:int ->
   runs:int ->
   profile ->
   report
 (** Run [runs] generated schedules, rotating the service mode
     (dynamic, static, direct) across runs.  Run [i] uses seed
-    [seed + 7919 * i], so any single run is reproducible on its own. *)
+    [seed + 7919 * i], so any single run is reproducible on its own.
+    With [~check_determinism:true] every schedule is executed a second
+    time and the two serialized traces are byte-compared; a divergence
+    is reported as a "determinism: ..." failure on that run's verdict
+    (roughly doubling campaign cost). *)
 
 val failed : report -> verdict list
 

@@ -39,7 +39,7 @@ let converged t group =
       (fun node ->
         if Topology.is_alive topology node then
           let component = Topology.component_of topology node in
-          if List.hd component = node then Some component else None
+          if Node_id.equal (List.hd component) node then Some component else None
         else None)
       nodes
   in
@@ -60,7 +60,7 @@ let converged t group =
           List.for_all
             (fun (_, view) -> Plwg_vsync.Types.View_id.equal view.Plwg_vsync.Types.View.id first.Plwg_vsync.Types.View.id)
             with_view
-          && first.Plwg_vsync.Types.View.members = expected_members)
+          && List.equal Node_id.equal first.Plwg_vsync.Types.View.members expected_members)
     classes
 
 let assert_invariants t =

@@ -82,7 +82,7 @@ let run ~mode ~n ~seed =
     List.for_all
       (fun node ->
         match Service.view_of stack.Stack.services.(node) g with
-        | Some view -> view.View.members = members g
+        | Some view -> List.equal Node_id.equal view.View.members (members g)
         | None -> false)
       (members g)
   in
@@ -142,7 +142,7 @@ let run ~mode ~n ~seed =
   senders_active := false;
   Stack.run stack (Time.sec 1);
   let latency_samples =
-    Hashtbl.fold
+    Plwg_util.Tbl.fold_sorted ~cmp:Int.compare
       (fun k bucket acc ->
         match Hashtbl.find_opt probe_sent k with
         | Some sent ->
@@ -174,7 +174,11 @@ let run ~mode ~n ~seed =
   List.iter
     (fun node ->
       Plwg_detector.Detector.on_change stack.Stack.detectors.(node) (fun peer status ->
-          if peer = 3 && status = Plwg_detector.Detector.Unreachable && not (Hashtbl.mem detection node) then
+          if
+            Node_id.equal peer 3
+            && (match status with Plwg_detector.Detector.Unreachable -> true | Reachable -> false)
+            && not (Hashtbl.mem detection node)
+          then
             Hashtbl.replace detection node (Engine.now stack.Stack.engine)))
     survivors;
   let crash_time = Engine.now stack.Stack.engine in
@@ -189,7 +193,7 @@ let run ~mode ~n ~seed =
           (fun (time, event) ->
             match event with
             | Plwg_vsync.Hwg.Installed { node = n; view }
-              when n = node && Gid.equal view.View.group g && Time.compare time crash_time > 0
+              when Node_id.equal n node && Gid.equal view.View.group g && Time.compare time crash_time > 0
                    && not (List.mem 3 view.View.members) ->
                 Some time
             | _ -> None)
@@ -201,7 +205,9 @@ let run ~mode ~n ~seed =
        detects the crash; per-survivor detection skew (sweep phase) is
        detector noise, not recovery work *)
     let origin =
-      Hashtbl.fold (fun _ t acc -> match acc with None -> Some t | Some a -> Some (min a t)) detection None
+      Plwg_util.Tbl.fold_sorted ~cmp:Node_id.compare
+        (fun _ t acc -> match acc with None -> Some t | Some a -> Some (min a t))
+        detection None
     in
     match origin with
     | None -> None

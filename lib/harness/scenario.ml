@@ -67,7 +67,7 @@ let run ?obs ?(seed = 90) () =
     match Service.mapping_of services.(0) lwg_a with
     | Some h -> (
         match Hwg.view_of (Service.hwg_service services.(0)) h with
-        | Some v -> List.length v.View.members = 4
+        | Some v -> Int.equal (List.length v.View.members) 4
         | None -> false)
     | None -> false
   in
@@ -78,8 +78,8 @@ let run ?obs ?(seed = 90) () =
   in
   let converged () =
     Stack.lwg_converged stack lwg_a && Stack.lwg_converged stack lwg_b
-    && List.length (live lwg_a) = 1
-    && List.length (live lwg_b) = 1
+    && Int.equal (List.length (live lwg_a)) 1
+    && Int.equal (List.length (live lwg_b)) 1
   in
   (* observe from inside the simulation: the reconciliation takes only
      a few simulated milliseconds, far finer than outer run steps *)

@@ -41,7 +41,7 @@ let create ?obs ?(model = Model.default) ?(seed = 42) ?(config = Service.default
     List.map
       (fun node ->
         Server.create ~config:ns_config ~transport ~detector:detectors.(node)
-          ~peers:(List.filter (fun p -> p <> node) server_nodes)
+          ~peers:(List.filter (fun p -> not (Node_id.equal p node)) server_nodes)
           node)
       server_nodes
   in
@@ -75,7 +75,7 @@ let lwg_converged t lwg =
           let component = Topology.component_of topology node in
           let app_component = List.filter (fun n -> List.mem n t.app_nodes) component in
           match app_component with
-          | first :: _ when first = node -> Some app_component
+          | first :: _ when Node_id.equal first node -> Some app_component
           | _ -> None
         else None)
       t.app_nodes
@@ -95,10 +95,12 @@ let lwg_converged t lwg =
           List.for_all
             (fun (_, v) -> Plwg_vsync.Types.View_id.equal v.Plwg_vsync.Types.View.id first.Plwg_vsync.Types.View.id)
             with_view
-          && first.Plwg_vsync.Types.View.members = expected_members
+          && List.equal Node_id.equal first.Plwg_vsync.Types.View.members expected_members
           && List.for_all
                (fun (node, _) ->
-                 Service.mapping_of t.services.(node) lwg = Service.mapping_of t.services.(first_node) lwg)
+                 Option.equal Plwg_vsync.Types.Gid.equal
+                   (Service.mapping_of t.services.(node) lwg)
+                   (Service.mapping_of t.services.(first_node) lwg))
                with_view)
     classes
 

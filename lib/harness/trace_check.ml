@@ -38,7 +38,13 @@ let check_flush_pairing ?(allow_open = false) entries =
       | _ -> ())
     entries;
   if not allow_open then
-    Hashtbl.iter
+    Plwg_util.Tbl.iter_sorted
+      ~cmp:(fun (na, ga, ea) (nb, gb, eb) ->
+        let c = Int.compare na nb in
+        if c <> 0 then c
+        else
+          let c = String.compare ga gb in
+          if c <> 0 then c else Int.compare ea eb)
       (fun (node, group, epoch) at_us ->
         violations :=
           Printf.sprintf "flush-begin never closed n%d %s e%d (opened at %dus)" node group epoch at_us :: !violations)

@@ -1,0 +1,34 @@
+(** Trace-driven invariant checking.
+
+    The checks replay an exported trace (oldest first) and verify
+    protocol-level invariants that the in-process recorders cannot see.
+    Each check returns human-readable violation strings; an empty list
+    means the trace is clean. *)
+
+open Plwg_obs
+
+(** Every [Flush_begin] must be matched by exactly one [Flush_end] for
+    the same (node, group, epoch).  [allow_open] tolerates flushes
+    still in progress when the trace was cut. *)
+val check_flush_pairing : ?allow_open:bool -> Event.entry list -> string list
+
+(** No application DATA delivery may cross the partition in force at
+    the time of delivery. *)
+val check_no_cross_partition_delivery : n_nodes:int -> Event.entry list -> string list
+
+(** The Section-6 reconciliation steps in the order the paper
+    prescribes. *)
+val paper_order : Event.reconcile_step list
+
+(** The suffix of the trace after the last [Healed] event (the whole
+    trace if there is none). *)
+val after_last_heal : Event.entry list -> Event.entry list
+
+(** Reconcile steps in order of first occurrence after the last heal. *)
+val reconcile_sequence : Event.entry list -> Event.reconcile_step list
+
+(** The steps that occur must first occur in the paper's order (a step
+    may be absent). *)
+val check_reconcile_order : Event.entry list -> string list
+
+val check_all : ?allow_open:bool -> n_nodes:int -> Event.entry list -> string list

@@ -1,0 +1,91 @@
+(* The grandfathering baseline: a checked-in JSON file of findings that
+   are acknowledged but not yet fixed.  Entries are keyed by
+   (rule, file, trimmed source line) — not by line number — so
+   unrelated edits above a grandfathered site do not invalidate it,
+   while any edit to the offending line itself surfaces the finding
+   again.  Matching is multiset-style: one entry masks one finding, so
+   a baseline can never hide more occurrences than were recorded. *)
+
+module Json = Plwg_obs.Json
+
+type entry = { rule : string; file : string; source_line : string; reason : string }
+
+let schema = "plwg-lint-baseline/1"
+
+let entry_of_finding (f : Lint_rules.finding) ~reason =
+  { rule = Lint_rules.name f.rule; file = f.file; source_line = f.source_line; reason }
+
+let to_json entries =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "findings",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str e.rule);
+                   ("file", Json.Str e.file);
+                   ("source_line", Json.Str e.source_line);
+                   ("reason", Json.Str e.reason);
+                 ])
+             entries) );
+    ]
+
+let of_json json =
+  match Json.to_str (Json.member "schema" json) with
+  | s when s <> schema -> Error (Printf.sprintf "unknown baseline schema %S (expected %s)" s schema)
+  | exception _ -> Error "baseline: missing \"schema\" field"
+  | _ -> (
+      match
+        List.map
+          (fun entry ->
+            {
+              rule = Json.to_str (Json.member "rule" entry);
+              file = Json.to_str (Json.member "file" entry);
+              source_line = Json.to_str (Json.member "source_line" entry);
+              reason = (match Json.member "reason" entry with Json.Str s -> s | _ -> "");
+            })
+          (Json.to_list (Json.member "findings" json))
+      with
+      | entries -> Ok entries
+      | exception Json.Parse_error msg -> Error ("baseline: " ^ msg))
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match Json.of_string (In_channel.with_open_text path In_channel.input_all) with
+    | json -> of_json json
+    | exception Json.Parse_error msg -> Error (Printf.sprintf "baseline %s: %s" path msg)
+
+let save path entries =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string (to_json entries));
+      output_char oc '\n')
+
+let matches entry (f : Lint_rules.finding) =
+  String.equal entry.rule (Lint_rules.name f.rule)
+  && String.equal entry.file f.file
+  && String.equal entry.source_line f.source_line
+
+(* Returns the findings not masked by the baseline, plus the stale
+   entries that masked nothing (each entry masks at most one finding). *)
+let apply entries findings =
+  let remaining = ref entries in
+  let unmasked =
+    List.filter
+      (fun f ->
+        let rec consume acc = function
+          | [] -> false
+          | entry :: rest ->
+              if matches entry f then begin
+                remaining := List.rev_append acc rest;
+                true
+              end
+              else consume (entry :: acc) rest
+        in
+        not (consume [] !remaining))
+      findings
+  in
+  (unmasked, !remaining)

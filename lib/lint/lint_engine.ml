@@ -1,0 +1,391 @@
+(* The analysis core: parses each .ml with ppxlib's parser and walks the
+   AST with Ast_traverse, emitting findings for the catalog in
+   Lint_rules.  Two passes over the file set: the first collects every
+   extension constructor declared anywhere (the message families the
+   dispatch rule checks against), the second runs the per-file rules. *)
+
+open Ppxlib
+module StringSet = Set.Make (String)
+module StringMap = Map.Make (String)
+
+exception Parse_failure of string * string
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  try Parse.implementation lexbuf
+  with e -> raise (Parse_failure (path, Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Message families                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Extension constructors (type Payload.t += ...) grouped by their
+   prefix up to the first underscore: L_data and L_view share family
+   "L_"; a name without an underscore is its own family.  A dispatch
+   that names any constructor of a family and ends in a catch-all must
+   name all of them — the catch-all is then only for foreign payloads. *)
+
+type families = StringSet.t StringMap.t
+
+let family_prefix name =
+  match String.index_opt name '_' with Some i -> String.sub name 0 (i + 1) | None -> name
+
+let collect_families structure acc =
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_typext te ->
+          List.fold_left
+            (fun acc ec ->
+              let cname = ec.pext_name.txt in
+              let fam = family_prefix cname in
+              let set = Option.value ~default:StringSet.empty (StringMap.find_opt fam acc) in
+              StringMap.add fam (StringSet.add cname set) acc)
+            acc te.ptyext_constructors
+      | _ -> acc)
+    acc structure
+
+(* ------------------------------------------------------------------ *)
+(* Identifier helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec longident_segments = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> longident_segments l @ [ s ]
+  | Lapply (a, b) -> longident_segments a @ longident_segments b
+
+let longident_name lid = String.concat "." (longident_segments lid)
+
+let last_segment lid =
+  match List.rev (longident_segments lid) with last :: _ -> last | [] -> ""
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Name fragments that mark an expression as protocol-typed for the
+   polymorphic-comparison heuristic: views, view/group/node identifiers,
+   naming mappings, carrier lineage and the node roles derived from
+   them.  Matching is on lowercased identifier/field/constructor names
+   appearing anywhere inside either operand. *)
+let protocol_markers =
+  [
+    "view";
+    "vid";
+    "gid";
+    "lwg";
+    "hwg";
+    "carrier";
+    "mapping";
+    "lineage";
+    "member";
+    "node";
+    "coord";
+    "sender";
+    "origin";
+    "joiner";
+    "leaver";
+    "peer";
+    "l_continuous";
+    "l_cut";
+    "l_rejoined";
+  ]
+
+let marker_of_name name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun marker -> contains_sub lower marker) protocol_markers
+
+let markers_of_longident lid = List.filter_map marker_of_name (longident_segments lid)
+
+let protocol_marker_of_expr expr =
+  let found = ref None in
+  let note = function [] -> () | marker :: _ -> if Option.is_none !found then found := Some marker in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident lid | Pexp_construct (lid, _) -> note (markers_of_longident lid.txt)
+        | Pexp_field (_, lid) -> note (markers_of_longident lid.txt)
+        | _ -> ());
+        if Option.is_none !found then super#expression e
+    end
+  in
+  it#expression expr;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Rule tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hashtbl_iter_paths =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Stdlib.Hashtbl.iter";
+    "Stdlib.Hashtbl.fold";
+    "MoreLabels.Hashtbl.iter";
+    "MoreLabels.Hashtbl.fold";
+  ]
+
+let hashtbl_hash_paths = [ "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.seeded_hash" ]
+let wall_clock_paths = [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime"; "Sys.time" ]
+let bare_compare_paths = [ "compare"; "Stdlib.compare" ]
+let protected_type_names = [ "lstate"; "lstatus"; "lflush" ]
+
+let is_transition_attr (attr : attribute) =
+  match attr.attr_name.txt with "transition" | "plwg.transition" -> true | _ -> false
+
+(* Mutable record labels declared by this file's lstate-family types,
+   including inline records on variant constructors. *)
+let mutable_labels_of_structure structure =
+  let add_labels acc labels =
+    List.fold_left
+      (fun acc ld -> match ld.pld_mutable with Mutable -> StringSet.add ld.pld_name.txt acc | Immutable -> acc)
+      acc labels
+  in
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+          List.fold_left
+            (fun acc decl ->
+              if List.mem decl.ptype_name.txt protected_type_names then
+                match decl.ptype_kind with
+                | Ptype_record labels -> add_labels acc labels
+                | Ptype_variant constructors ->
+                    List.fold_left
+                      (fun acc cd ->
+                        match cd.pcd_args with Pcstr_record labels -> add_labels acc labels | _ -> acc)
+                      acc constructors
+                | _ -> acc
+              else acc)
+            acc decls
+      | _ -> acc)
+    StringSet.empty structure
+
+(* ------------------------------------------------------------------ *)
+(* Pattern helpers for the dispatch rule                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec pattern_constructors p acc =
+  match p.ppat_desc with
+  | Ppat_construct (lid, arg) ->
+      let acc = last_segment lid.txt :: acc in
+      (match arg with Some (_, sub) -> pattern_constructors sub acc | None -> acc)
+  | Ppat_or (a, b) -> pattern_constructors a (pattern_constructors b acc)
+  | Ppat_alias (sub, _) | Ppat_constraint (sub, _) | Ppat_open (_, sub) | Ppat_exception sub | Ppat_lazy sub ->
+      pattern_constructors sub acc
+  | Ppat_tuple subs | Ppat_array subs -> List.fold_left (fun acc sub -> pattern_constructors sub acc) acc subs
+  | Ppat_record (fields, _) -> List.fold_left (fun acc (_, sub) -> pattern_constructors sub acc) acc fields
+  | Ppat_variant (_, Some sub) -> pattern_constructors sub acc
+  | _ -> acc
+
+let rec is_wildcard p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (sub, _) | Ppat_constraint (sub, _) -> is_wildcard sub
+  | Ppat_or (a, b) -> is_wildcard a || is_wildcard b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-file context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  path : string;
+  lines : string array;
+  suppress : Lint_suppress.t;
+  families : families;
+  mutable findings : Lint_rules.finding list;
+}
+
+let line_text ctx n = if n >= 1 && n <= Array.length ctx.lines then String.trim ctx.lines.(n - 1) else ""
+
+let add ctx rule (loc : Location.t) message =
+  let line = loc.loc_start.pos_lnum in
+  let col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+  if not (Lint_suppress.allows ctx.suppress ~line (Lint_rules.name rule)) then
+    ctx.findings <-
+      { Lint_rules.rule; file = ctx.path; line; col; source_line = line_text ctx line; message } :: ctx.findings
+
+let in_rng_module path = String.equal (Filename.basename path) "rng.ml"
+
+let check_dispatch ctx loc cases =
+  let has_catch_all = List.exists (fun c -> Option.is_none c.pc_guard && is_wildcard c.pc_lhs) cases in
+  if has_catch_all then begin
+    let named = List.fold_left (fun acc c -> pattern_constructors c.pc_lhs acc) [] cases in
+    StringMap.iter
+      (fun fam constructors ->
+        let named_in_fam = StringSet.inter constructors (StringSet.of_list named) in
+        if not (StringSet.is_empty named_in_fam) then begin
+          let missing = StringSet.diff constructors named_in_fam in
+          if not (StringSet.is_empty missing) then
+            add ctx Lint_rules.Dispatch_wildcard loc
+              (Printf.sprintf
+                 "dispatch on the %s* message family has a catch-all but does not name: %s (the wildcard must only \
+                  cover foreign payloads)"
+                 fam
+                 (String.concat ", " (StringSet.elements missing)))
+        end)
+      ctx.families
+  end
+
+let check_ident ctx loc path ~applied =
+  if List.mem path hashtbl_iter_paths then
+    add ctx Lint_rules.Hashtbl_iter_order loc
+      (Printf.sprintf "%s visits bindings in unspecified order; use Plwg_util.Tbl with an explicit comparator" path)
+  else if List.mem path hashtbl_hash_paths then
+    add ctx Lint_rules.Poly_compare_protocol loc
+      (Printf.sprintf "%s hashes the representation; protocol types need a dedicated hash or key" path)
+  else if List.mem path wall_clock_paths then
+    add ctx Lint_rules.Wall_clock loc
+      (Printf.sprintf "%s reads the wall clock; use simulated time (Plwg_sim.Time)" path)
+  else if List.mem path bare_compare_paths && not applied then
+    add ctx Lint_rules.Poly_compare_protocol loc
+      "polymorphic compare passed as a value; pass the type's comparator (e.g. String.compare, Gid.compare)"
+  else if
+    (String.starts_with ~prefix:"Random." path || String.starts_with ~prefix:"Stdlib.Random." path)
+    && not (in_rng_module ctx.path)
+  then
+    add ctx Lint_rules.Random_outside_rng loc
+      (Printf.sprintf "%s draws from ambient global state; draw from the schedule's Plwg_util.Rng" path)
+
+let check_poly_apply ctx loc op a b =
+  let describe_operand expr = match protocol_marker_of_expr expr with Some m -> Some m | None -> None in
+  match (describe_operand a, describe_operand b) with
+  | None, None -> ()
+  | Some marker, _ | _, Some marker ->
+      add ctx Lint_rules.Poly_compare_protocol loc
+        (Printf.sprintf
+           "polymorphic %s on a protocol value (operand mentions %S); use the type's equal/compare" op marker)
+
+let lint_ast ctx structure =
+  let mutable_labels = mutable_labels_of_structure structure in
+  let it =
+    object (self)
+      inherit Ast_traverse.iter as super
+      val mutable fn_pos = false
+      val mutable in_transition = false
+
+      method! value_binding vb =
+        let saved = in_transition in
+        if List.exists is_transition_attr vb.pvb_attributes then in_transition <- true;
+        super#value_binding vb;
+        in_transition <- saved
+
+      method! expression e =
+        let was_fn = fn_pos in
+        fn_pos <- false;
+        match e.pexp_desc with
+        | Pexp_ident lid -> check_ident ctx e.pexp_loc (longident_name lid.txt) ~applied:was_fn
+        | Pexp_apply (fn, args) ->
+            (match (fn.pexp_desc, args) with
+            | Pexp_ident lid, [ (_, a); (_, b) ] -> (
+                match longident_name lid.txt with
+                | "=" | "<>" -> check_poly_apply ctx e.pexp_loc (longident_name lid.txt) a b
+                | "compare" | "Stdlib.compare" -> check_poly_apply ctx e.pexp_loc "compare" a b
+                | _ -> ())
+            | _ -> ());
+            fn_pos <- true;
+            self#expression fn;
+            fn_pos <- false;
+            List.iter (fun (_, arg) -> self#expression arg) args
+        | Pexp_match (_, cases) ->
+            check_dispatch ctx e.pexp_loc cases;
+            super#expression e
+        | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+            check_dispatch ctx e.pexp_loc cases;
+            super#expression e
+        | Pexp_setfield (_, lid, _) ->
+            let label = last_segment lid.txt in
+            if StringSet.mem label mutable_labels && not in_transition then
+              add ctx Lint_rules.Lstate_mutation e.pexp_loc
+                (Printf.sprintf
+                   "lstate field %s mutated outside a designated transition (mark the enclosing top-level function \
+                    [@@transition])"
+                   label);
+            super#expression e
+        | _ -> super#expression e
+    end
+  in
+  it#structure structure
+
+(* ------------------------------------------------------------------ *)
+(* Per-file entry points                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_file ~families ~require_mli ~has_mli ~path ~source structure =
+  let ctx =
+    {
+      path;
+      lines = Array.of_list (String.split_on_char '\n' source);
+      suppress = Lint_suppress.of_source source;
+      families;
+      findings = [];
+    }
+  in
+  if require_mli && not has_mli then
+    add ctx Lint_rules.Missing_mli
+      { Location.none with loc_start = { pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 } }
+      (Printf.sprintf "module %s has no interface; add %si"
+         (String.capitalize_ascii (Filename.remove_extension (Filename.basename path)))
+         path);
+  lint_ast ctx structure;
+  List.sort Lint_rules.compare_finding ctx.findings
+
+let lint_source ?(families = StringMap.empty) ?(require_mli = false) ?(has_mli = false) ~path source =
+  let structure = parse ~path source in
+  let families = collect_families structure families in
+  lint_file ~families ~require_mli ~has_mli ~path ~source structure
+
+(* ------------------------------------------------------------------ *)
+(* Tree driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk dir acc =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.') then acc else walk path acc
+      else if Filename.check_suffix entry ".ml" then path :: acc
+      else acc)
+    acc entries
+
+let ml_files_under roots =
+  List.sort String.compare
+    (List.concat_map
+       (fun root ->
+         if Sys.is_directory root then walk root []
+         else if Filename.check_suffix root ".ml" then [ root ]
+         else [])
+       roots)
+
+(* .mli interfaces are required for library code (everything under a
+   root named lib), not for executables and benchmarks. *)
+let requires_mli path =
+  match String.split_on_char '/' path with "lib" :: _ -> true | _ -> false
+
+let run ~roots =
+  match
+    let files = ml_files_under roots in
+    let inputs =
+      List.map (fun path -> (path, In_channel.with_open_text path In_channel.input_all)) files
+    in
+    let parsed = List.map (fun (path, source) -> (path, source, parse ~path source)) inputs in
+    let families = List.fold_left (fun acc (_, _, structure) -> collect_families structure acc) StringMap.empty parsed in
+    List.concat_map
+      (fun (path, source, structure) ->
+        lint_file ~families ~require_mli:(requires_mli path) ~has_mli:(Sys.file_exists (path ^ "i")) ~path ~source
+          structure)
+      parsed
+  with
+  | findings -> Ok (List.sort Lint_rules.compare_finding findings)
+  | exception Parse_failure (path, msg) -> Error (Printf.sprintf "%s: parse error: %s" path msg)
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,38 @@
+(** The analysis core: ppxlib-based parsing and AST traversal emitting
+    findings for the {!Lint_rules} catalog. *)
+
+module StringSet : Set.S with type elt = string
+module StringMap : Map.S with type key = string
+
+exception Parse_failure of string * string
+(** [(path, message)] — the file does not parse as an implementation. *)
+
+type families = StringSet.t StringMap.t
+(** Extension constructors grouped by name prefix up to the first
+    underscore (["L_"], ["Ns_"], ...) — the message families the
+    dispatch rule checks against. *)
+
+val parse : path:string -> string -> Ppxlib.structure
+(** @raise Parse_failure on syntax errors. *)
+
+val collect_families : Ppxlib.structure -> families -> families
+val family_prefix : string -> string
+
+val lint_source :
+  ?families:families -> ?require_mli:bool -> ?has_mli:bool -> path:string -> string -> Lint_rules.finding list
+(** Parse and lint a single source string (fixture entry point: families
+    declared inside the source are merged with [?families]).
+    @raise Parse_failure on syntax errors. *)
+
+val ml_files_under : string list -> string list
+(** All .ml files under the given roots (directories are walked
+    recursively, skipping dot- and underscore-prefixed entries), in
+    sorted order. *)
+
+val requires_mli : string -> bool
+(** True for paths under a root named [lib]. *)
+
+val run : roots:string list -> (Lint_rules.finding list, string) result
+(** Walk the roots, collect message families across every file, then
+    lint each file (including the missing-mli check against the
+    filesystem).  Findings are sorted by {!Lint_rules.compare_finding}. *)

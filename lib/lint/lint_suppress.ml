@@ -1,0 +1,86 @@
+(* Inline suppressions.  A comment of the form
+
+     (* plwg-lint: allow <rule> [<rule>...] — reason *)
+
+   silences the named rules on the comment's own lines and on the first
+   line after the comment closes, so both styles work:
+
+     let x = Hashtbl.fold f tbl []  (* plwg-lint: allow hashtbl-iter-order — sorted below *)
+
+     (* plwg-lint: allow hashtbl-iter-order — sorted below *)
+     let x = Hashtbl.fold f tbl []
+
+   The scan is textual (no AST): a marker only counts as a suppression
+   when at least one recognized rule name (or "all") follows it, so the
+   bare marker string appearing in string literals or prose is inert. *)
+
+type range = { from_line : int; to_line : int; rules : string list }
+type t = range list
+
+let marker = "plwg-lint: allow"
+
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub haystack i nn = needle then Some i else go (i + 1) in
+  go 0
+
+let parse_rules text =
+  let normalized = String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) text in
+  let tokens = String.split_on_char ' ' normalized in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | token :: rest ->
+        let token = String.trim token in
+        if token = "" then take acc rest
+        else if token = "all" || Option.is_some (Lint_rules.of_name token) then take (token :: acc) rest
+        else List.rev acc
+  in
+  take [] tokens
+
+let of_source source =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let n = Array.length lines in
+  let ranges = ref [] in
+  for i = 0 to n - 1 do
+    match find_sub lines.(i) marker with
+    | None -> ()
+    | Some at ->
+        let after = String.sub lines.(i) (at + String.length marker) (String.length lines.(i) - at - String.length marker) in
+        (* Collect the comment text up to the closing "*)", which may sit
+           on a later line; remember where the comment ends. *)
+        let close_line = ref i in
+        let text =
+          match find_sub after "*)" with
+          | Some close -> String.sub after 0 close
+          | None ->
+              let buf = Buffer.create 64 in
+              Buffer.add_string buf after;
+              let j = ref (i + 1) in
+              let continue = ref true in
+              while !continue && !j < n do
+                (match find_sub lines.(!j) "*)" with
+                | Some close ->
+                    Buffer.add_char buf ' ';
+                    Buffer.add_string buf (String.sub lines.(!j) 0 close);
+                    close_line := !j;
+                    continue := false
+                | None ->
+                    Buffer.add_char buf ' ';
+                    Buffer.add_string buf lines.(!j));
+                incr j
+              done;
+              if !continue then close_line := n - 1;
+              Buffer.contents buf
+        in
+        let rules = parse_rules text in
+        if rules <> [] then
+          (* 1-based lines; the suppression reaches one line past the
+             closing delimiter so a comment block covers the code under it. *)
+          ranges := { from_line = i + 1; to_line = !close_line + 2; rules } :: !ranges
+  done;
+  List.rev !ranges
+
+let allows t ~line rule =
+  List.exists
+    (fun r -> line >= r.from_line && line <= r.to_line && (List.mem "all" r.rules || List.mem rule r.rules))
+    t

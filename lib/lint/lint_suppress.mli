@@ -1,0 +1,15 @@
+(** Inline lint suppressions:
+    [(* plwg-lint: allow <rule> [<rule>...] — reason *)].
+
+    A suppression covers the comment's own lines plus the first line
+    after the comment closes, and only counts when at least one
+    recognized rule name (or ["all"]) follows the marker. *)
+
+type t
+
+val of_source : string -> t
+(** Scan raw source text (no AST) for suppression comments. *)
+
+val allows : t -> line:int -> string -> bool
+(** [allows t ~line rule] is true when a suppression for [rule] (by its
+    catalog name) or for ["all"] covers the 1-based [line]. *)

@@ -8,9 +8,7 @@ open Plwg_vsync.Types
 (** Carrier-lineage tag attached to merge-round contributions.  Two
     holders of the same LWG view id are guaranteed to have delivered
     the same messages in it only if their carrier histories since its
-    install are equivalent: either both stayed on the mainline, or
-    both were cut off together (same side branch, readmitted by the
-    same carrier merge).  Structural equality of this tag encodes that
+    install are equivalent.  Equality of this tag encodes that
     equivalence; holders with different tags must not share the
     transition into a merged view. *)
 type lineage =
@@ -21,14 +19,8 @@ type lineage =
   | L_rejoined of Node_id.t
       (** crash recovery: a history no other node can share *)
 
-let lineage_is_continuous = function L_continuous -> true | L_cut _ | L_rejoined _ -> false
-
-let lineage_equal a b =
-  match (a, b) with
-  | L_continuous, L_continuous -> true
-  | L_cut a, L_cut b -> View_id.equal a.at b.at && View_id.equal a.from b.from
-  | L_rejoined a, L_rejoined b -> Node_id.equal a b
-  | (L_continuous | L_cut _ | L_rejoined _), _ -> false
+val lineage_is_continuous : lineage -> bool
+val lineage_equal : lineage -> lineage -> bool
 
 type Payload.t +=
   | L_data of {
@@ -58,8 +50,7 @@ type Payload.t +=
   | L_forward of { lwg : Gid.t; to_hwg : Gid.t }
       (** Forward pointer: the LWG moved; joiners should retry there. *)
   | L_gossip of { views : (Gid.t * View.t) list }
-      (** Periodic local peer discovery (Section 6.3); full views, so a
-          node that abandoned a group can notice it is still listed. *)
+      (** Periodic local peer discovery (Section 6.3). *)
   | L_merge_views  (** Paper Figure 5: request a merge round on this HWG. *)
   | L_all_views of { from : Node_id.t; views : (Gid.t * View.t * lineage) list }
       (** Paper Figure 5's ALL-VIEWS / MAPPED-VIEWS, each view tagged
@@ -69,25 +60,3 @@ type Payload.t +=
   | L_state of { lwg : Gid.t; lview : View_id.t; recipients : Node_id.t list; state : Payload.t }
       (** State transfer: application state captured by the coordinator
           at the flush synchronisation point, for the view's joiners. *)
-
-let () =
-  Payload.register_printer (function
-    | L_data { lwg; lview; seq; _ } -> Some (Format.asprintf "l-data(%a,%a,#%d)" Gid.pp lwg View_id.pp lview seq)
-    | L_join_req { lwg; joiner } -> Some (Format.asprintf "l-join(%a,%a)" Gid.pp lwg Node_id.pp joiner)
-    | L_leave_req { lwg; leaver } -> Some (Format.asprintf "l-leave(%a,%a)" Gid.pp lwg Node_id.pp leaver)
-    | L_stop { lwg; epoch; _ } -> Some (Format.asprintf "l-stop(%a,e%d)" Gid.pp lwg epoch)
-    | L_stop_ok { lwg; epoch; from; sent } ->
-        Some (Format.asprintf "l-stop-ok(%a,e%d,%a,%d)" Gid.pp lwg epoch Node_id.pp from sent)
-    | L_view { lwg; view; switch_to; _ } ->
-        Some
-          (Format.asprintf "l-view(%a,%a%s)" Gid.pp lwg View.pp view
-             (match switch_to with Some h -> " ->" ^ Gid.to_string h | None -> ""))
-    | L_forward { lwg; to_hwg } -> Some (Format.asprintf "l-forward(%a,%a)" Gid.pp lwg Gid.pp to_hwg)
-    | L_gossip { views } -> Some (Format.asprintf "l-gossip(%d)" (List.length views))
-    | L_merge_views -> Some "l-merge-views"
-    | L_all_views { from; views } -> Some (Format.asprintf "l-all-views(%a,%d)" Node_id.pp from (List.length views))
-    | L_arrived { lwg; node } -> Some (Format.asprintf "l-arrived(%a,%a)" Gid.pp lwg Node_id.pp node)
-    | L_state { lwg; lview; recipients; _ } ->
-        Some
-          (Format.asprintf "l-state(%a,%a,%a)" Gid.pp lwg View_id.pp lview Node_id.pp_list recipients)
-    | _ -> None)

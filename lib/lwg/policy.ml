@@ -42,4 +42,4 @@ let interference_decision params ~lwg_members ~hwg:(_, hwg_members) ~candidates 
         `Switch_to best
 
 let shrink_decision ~member_of_hwg ~lwgs_mapped_here =
-  if member_of_hwg && lwgs_mapped_here = 0 then `Leave else `Stay
+  if member_of_hwg && Int.equal lwgs_mapped_here 0 then `Leave else `Stay

@@ -170,9 +170,9 @@ let hview_members t (l : lstate) =
 (* The coordinator records every new view.  A non-coordinator also
    writes when it still holds a provisional (creation-race) entry, so
    the placeholder gets retired from the database. *)
-let ns_set_view t (l : lstate) view =
+let[@transition] ns_set_view t (l : lstate) view =
   match (t.mode, t.ns, l.hwg) with
-  | Dynamic, Some ns, Some hwg when lwg_coordinator view = t.node || l.provisional <> None ->
+  | Dynamic, Some ns, Some hwg when Node_id.equal (lwg_coordinator view) t.node || Option.is_some l.provisional ->
       let preds =
         match l.provisional with Some pv -> pv :: view.View.preds | None -> view.View.preds
       in
@@ -187,7 +187,7 @@ let ns_set_view t (l : lstate) view =
 (* Delivery                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let deliver t (l : lstate) ~src ~seq ~local body =
+let[@transition] deliver t (l : lstate) ~src ~seq ~local body =
   l.delivered <- Node_id.Map.add src (seq + 1) l.delivered;
   (match l.view with
   | Some view ->
@@ -204,9 +204,9 @@ let l_deliverable (l : lstate) ~src ~seq ~vc =
   match l.ordering with
   | Fifo | Total -> true
   | Causal ->
-      List.for_all (fun (node, count) -> node = src || delivered_count l.delivered node >= count) vc
+      List.for_all (fun (node, count) -> Node_id.equal node src || delivered_count l.delivered node >= count) vc
 
-let rec drain_pend_cur t (l : lstate) =
+let[@transition] rec drain_pend_cur t (l : lstate) =
   let ready, rest =
     List.partition (fun (src, seq, _, vc, _) -> l_deliverable l ~src ~seq ~vc) l.pend_cur
   in
@@ -220,7 +220,7 @@ let rec drain_pend_cur t (l : lstate) =
 (* Sending                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let send_in t (l : lstate) body =
+let[@transition] send_in t (l : lstate) body =
   match (l.status, l.view, l.hwg) with
   | L_normal, Some view, Some hwg ->
       let seq = l.next_seq and local = l.total_sent in
@@ -230,7 +230,7 @@ let send_in t (l : lstate) body =
       multicast_h t hwg (L_data { lwg = l.lwg; lview = view.View.id; seq; local; vc; body })
   | _, _, _ -> l.outbox <- body :: l.outbox
 
-let drain_outbox t (l : lstate) =
+let[@transition] drain_outbox t (l : lstate) =
   let queued = List.rev l.outbox in
   l.outbox <- [];
   List.iter (fun body -> send_in t l body) queued
@@ -245,7 +245,7 @@ let note_lseq t lwg seq =
 
 let lseq_floor_of t lwg = try Hashtbl.find t.lseq_floor lwg with Not_found -> 0
 
-let install_lview t (l : lstate) view =
+let[@transition] install_lview t (l : lstate) view =
   note_lseq t l.lwg view.View.id.View_id.seq;
   l.lineage <- L_continuous;
   (match l.view with Some old -> l.ancestors <- View_id.Set.add old.View.id l.ancestors | None -> ());
@@ -277,7 +277,7 @@ let install_lview t (l : lstate) view =
 
 (* Close an open LWG flush, pairing its Flush_begin with a Flush_end
    carrying [outcome].  No-op when no flush is in progress. *)
-let end_lflush t (l : lstate) ~outcome =
+let[@transition] end_lflush t (l : lstate) ~outcome =
   match l.flush with
   | None -> ()
   | Some flush ->
@@ -291,7 +291,7 @@ let remove_lstate t (l : lstate) ~installed =
   if installed then record t (Hwg.Left { node = t.node; group = l.lwg });
   Hashtbl.remove t.lstates l.lwg
 
-let check_migration t (l : lstate) =
+let[@transition] check_migration t (l : lstate) =
   match (l.status, l.view, l.hwg) with
   | Migrating, Some view, Some h2 -> (
       match Hwg.view_of t.hwg h2 with
@@ -302,7 +302,7 @@ let check_migration t (l : lstate) =
       | Some _ | None -> ())
   | _, _, _ -> ()
 
-let finish_drain t (l : lstate) ~d_view ~d_switch ~d_leaving =
+let[@transition] finish_drain t (l : lstate) ~d_view ~d_switch ~d_leaving =
   if d_leaving then remove_lstate t l ~installed:true
   else begin
     install_lview t l d_view;
@@ -337,12 +337,12 @@ let try_finish_drain t (l : lstate) =
 (* The LWG flush protocol (join / leave / switch)                      *)
 (* ------------------------------------------------------------------ *)
 
-let start_lflush t (l : lstate) ~new_members ~switch =
+let[@transition] start_lflush t (l : lstate) ~new_members ~switch =
   Logs.debug (fun m -> m "n%d start_lflush %s -> {%s} (status ok=%b)" t.node (Gid.to_string l.lwg)
     (String.concat "," (List.map string_of_int (Node_id.Set.elements new_members)))
     (match l.status with L_normal -> true | _ -> false));
   match (l.status, l.view, l.hwg) with
-  | L_normal, Some view, Some hwg when lwg_coordinator view = t.node && l.flush = None ->
+  | L_normal, Some view, Some hwg when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush ->
       l.epoch <- l.epoch + 1;
       l.flush <-
         Some
@@ -363,14 +363,14 @@ let start_lflush t (l : lstate) ~new_members ~switch =
 
 let start_switch t (l : lstate) target =
   match l.view with
-  | Some view when l.flush = None && l.status = L_normal ->
+  | Some view when Option.is_none l.flush && (match l.status with L_normal -> true | _ -> false) ->
       Logs.debug (fun m -> m "n%d start_switch %s -> %s" t.node (Gid.to_string l.lwg) (Gid.to_string target));
       t.switches <- t.switches + 1;
       Engine.count t.engine "lwg.switches";
       start_lflush t l ~new_members:(View.members_set view) ~switch:(Some target)
   | Some _ | None -> ()
 
-let handle_lstop t (l : lstate) ~epoch ~lview =
+let[@transition] handle_lstop t (l : lstate) ~epoch ~lview =
   match (l.status, l.view, l.hwg) with
   | (L_normal | L_stopped), Some view, Some hwg when View_id.equal view.View.id lview && epoch >= l.epoch ->
       l.epoch <- epoch;
@@ -403,13 +403,13 @@ let finish_lflush t (l : lstate) flush =
           (match t.state_callbacks with
           | Some callbacks when flush.lf_switch = None ->
               let joiners = Node_id.Set.elements (Node_id.Set.diff flush.lf_new_members flush.lf_old_members) in
-              if joiners <> [] then
+              if not (List.is_empty joiners) then
                 multicast_h t hwg
                   (L_state { lwg = l.lwg; lview = id; recipients = joiners; state = callbacks.capture l.lwg })
           | Some _ | None -> ()))
   | _, _ -> ()
 
-let handle_lstop_ok t (l : lstate) ~epoch ~from ~sent =
+let[@transition] handle_lstop_ok t (l : lstate) ~epoch ~from ~sent =
   match l.flush with
   | Some flush when flush.lf_epoch = epoch && Node_id.Set.mem from flush.lf_old_members ->
       flush.lf_oks <- Node_id.Map.add from sent flush.lf_oks;
@@ -417,9 +417,9 @@ let handle_lstop_ok t (l : lstate) ~epoch ~from ~sent =
         finish_lflush t l flush
   | Some _ | None -> ()
 
-let handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
+let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
   Logs.debug (fun m -> m "n%d handle_lview %s %s lstate=%b" t.node (Gid.to_string lwg)
-    (Format.asprintf "%a" View.pp view) (lstate_of t lwg <> None));
+    (Format.asprintf "%a" View.pp view) (Option.is_some (lstate_of t lwg)));
   match lstate_of t lwg with
   | None ->
       (* not involved, but remember where the group went *)
@@ -477,7 +477,7 @@ let request_merge t carrier =
     multicast_h t carrier L_merge_views
   end
 
-let handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body =
+let[@transition] handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body =
   match lstate_of t lwg with
   | None -> () (* filtered: the interference cost was already paid at the CPU *)
   | Some l -> (
@@ -512,7 +512,7 @@ let handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body =
 (* ------------------------------------------------------------------ *)
 
 let my_views_on t carrier =
-  Hashtbl.fold
+  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
     (fun _ (l : lstate) acc ->
       match (l.hwg, l.view, l.status) with
       | Some h, Some view, (L_normal | L_stopped) when Gid.equal h carrier -> (l.lwg, view, l.lineage) :: acc
@@ -549,19 +549,19 @@ let transitional_of ~holders ~seq ~lwg node (mine : View.t) =
       match List.find_opt (fun (n, _, _) -> Node_id.equal n node) holders with
       | None -> None
       | Some (_, _, my_lin) ->
-          if List.for_all (fun (_, _, k) -> k = my_lin) holders then None
+          if List.for_all (fun (_, _, k) -> lineage_equal k my_lin) holders then None
           else
             let direct =
-              if List.exists (fun (_, _, k) -> k = L_continuous) holders then L_continuous
+              if List.exists (fun (_, _, k) -> lineage_is_continuous k) holders then L_continuous
               else (
                 match List.sort (fun (a, _, _) (b, _, _) -> Node_id.compare a b) holders with
                 | (_, _, k) :: _ -> k
                 | [] -> my_lin)
             in
-            if my_lin = direct then None
+            if lineage_equal my_lin direct then None
             else
               let sub =
-                List.filter_map (fun (n, _, k) -> if k = my_lin then Some n else None) holders
+                List.filter_map (fun (n, _, k) -> if lineage_equal k my_lin then Some n else None) holders
                 |> List.sort_uniq Node_id.compare
               in
               (match sub with
@@ -572,7 +572,7 @@ let transitional_of ~holders ~seq ~lwg node (mine : View.t) =
 (* At the flush synchronisation point every continuing member holds the
    same ALL-VIEWS set, so the merge is computed deterministically and
    locally: union the concurrent views of each LWG (Figure 5 line 115). *)
-let compute_merges t hs hview =
+let[@transition] compute_merges t hs hview =
   let present = View.members_set hview in
   (* The minted id dominates every live lineage only if every present
      member contributed its views (a member that never saw the
@@ -592,7 +592,7 @@ let compute_merges t hs hview =
           Hashtbl.replace by_lwg lwg ((from, view, lin) :: known))
         views)
     hs.all_views;
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun lwg contribs ->
       let views =
         List.fold_left
@@ -672,13 +672,13 @@ let compute_merges t hs hview =
 (* Reactions to HWG view changes                                       *)
 (* ------------------------------------------------------------------ *)
 
-let shrink_check t (l : lstate) hview ~continuous =
+let[@transition] shrink_check t (l : lstate) hview ~continuous =
   match (l.status, l.view) with
   | (L_normal | L_stopped), Some view ->
       let present = View.members_set hview in
       let members = View.members_set view in
       if not (Node_id.Set.subset members present) then begin
-        if l.lineage <> L_continuous || not continuous then
+        if (not (lineage_is_continuous l.lineage)) || not continuous then
           (* A node whose history has a gap — crash recovery, or a
              carrier view that is not the linear successor of the one
              it last held (exclusion by false suspicion, HWG merge) —
@@ -721,7 +721,7 @@ let abort_stale_flush t (l : lstate) hview =
       then end_lflush t l ~outcome:"aborted"
   | None -> ()
 
-let handle_hwg_view t hgid hview =
+let[@transition] handle_hwg_view t hgid hview =
   let hs = hstate_of t hgid in
   let prev = hs.hview in
   (* The messageless LWG shrink is sound only along a linear carrier
@@ -750,7 +750,7 @@ let handle_hwg_view t hgid hview =
   in
   hs.hview <- Some hview;
   if not mainline then
-    Hashtbl.iter
+    Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
       (fun _ (l : lstate) ->
         match (l.hwg, l.view, l.lineage) with
         | Some h, Some _, L_continuous when Gid.equal h hgid ->
@@ -765,7 +765,7 @@ let handle_hwg_view t hgid hview =
         | _, _, _ -> ())
       t.lstates;
   (* joiners waiting for HWG membership can announce now *)
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun _ (l : lstate) ->
       match (l.status, l.hwg) with
       | Joining_hwg, Some h when Gid.equal h hgid && View.mem t.node hview ->
@@ -796,17 +796,17 @@ let handle_hwg_view t hgid hview =
      above already reconciled are back to [L_continuous] and do not
      retrigger. *)
   if
-    Hashtbl.fold
+    Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
       (fun _ (l : lstate) acc ->
         acc
         ||
         match (l.hwg, l.view, l.status) with
-        | Some h, Some _, (L_normal | L_stopped) -> Gid.equal h hgid && l.lineage <> L_continuous
+        | Some h, Some _, (L_normal | L_stopped) -> Gid.equal h hgid && not (lineage_is_continuous l.lineage)
         | _, _, _ -> false)
       t.lstates false
   then request_merge t hgid;
   (* deterministic shrink of LWG views that lost HWG members *)
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun _ (l : lstate) ->
       match l.hwg with
       | Some h when Gid.equal h hgid ->
@@ -816,7 +816,7 @@ let handle_hwg_view t hgid hview =
       | Some _ | None -> ())
     t.lstates;
   (* migrations waiting for this HWG *)
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun _ (l : lstate) ->
       match (l.status, l.hwg) with
       | Migrating, Some h when Gid.equal h hgid -> check_migration t l
@@ -827,11 +827,11 @@ let handle_hwg_view t hgid hview =
 (* Control-plane message handling                                      *)
 (* ------------------------------------------------------------------ *)
 
-let handle_join_req t ~carrier ~lwg ~joiner =
+let[@transition] handle_join_req t ~carrier ~lwg ~joiner =
   match lstate_of t lwg with
   | Some l -> (
       match (l.status, l.view) with
-      | L_normal, Some view when lwg_coordinator view = t.node ->
+      | L_normal, Some view when Node_id.equal (lwg_coordinator view) t.node ->
           if View.mem joiner view then () (* already in *)
           else if l.flush <> None || not (Node_id.Set.mem joiner (hview_members t l)) then
             (* defer until the joiner is visible in the carrier's view,
@@ -843,22 +843,22 @@ let handle_join_req t ~carrier ~lwg ~joiner =
       (* forward pointer: the group moved away from this HWG *)
       let hs = hstate_of t carrier in
       match Gid.Map.find_opt lwg hs.forwards with
-      | Some h2 when (match hs.hview with Some hv -> View.coordinator hv = t.node | None -> false) ->
+      | Some h2 when (match hs.hview with Some hv -> Node_id.equal (View.coordinator hv) t.node | None -> false) ->
           multicast_h t carrier (L_forward { lwg; to_hwg = h2 })
       | Some _ | None -> ())
 
-let handle_leave_req t ~lwg ~leaver =
+let[@transition] handle_leave_req t ~lwg ~leaver =
   Logs.debug (fun m -> m "n%d handle_leave_req %s leaver=%d" t.node (Gid.to_string lwg) leaver);
   match lstate_of t lwg with
   | Some l -> (
       match (l.status, l.view) with
-      | L_normal, Some view when lwg_coordinator view = t.node && View.mem leaver view ->
+      | L_normal, Some view when Node_id.equal (lwg_coordinator view) t.node && View.mem leaver view ->
           if l.flush <> None then l.pending_leavers <- Node_id.Set.add leaver l.pending_leavers
           else start_lflush t l ~new_members:(Node_id.Set.remove leaver (View.members_set view)) ~switch:None
       | _, _ -> ())
   | None -> ()
 
-let proceed_with_mapping t (l : lstate) target =
+let[@transition] proceed_with_mapping t (l : lstate) target =
   l.hwg <- Some target;
   ignore (hstate_of t target);
   if Hwg.is_member t.hwg target then begin
@@ -875,7 +875,7 @@ let handle_forward t ~lwg ~to_hwg =
   | Some l -> (
       match l.status with
       | Joining_hwg | Announcing _ ->
-          if l.hwg <> Some to_hwg then proceed_with_mapping t l to_hwg
+          if not (Option.equal Gid.equal l.hwg (Some to_hwg)) then proceed_with_mapping t l to_hwg
       | Resolving _ | L_normal | L_stopped | Draining _ | Migrating -> ())
   | None -> ()
 
@@ -913,7 +913,7 @@ let best_entry entries =
    belongs to; otherwise mint a fresh HWG. *)
 let initial_hwg t =
   let mine =
-    Hashtbl.fold
+    Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
       (fun hgid hs acc -> match hs.hview with Some hv when View.mem t.node hv -> hgid :: acc | _ -> acc)
       t.hstates []
   in
@@ -921,7 +921,7 @@ let initial_hwg t =
   | [] -> Hwg.fresh_gid t.hwg
   | sorted -> List.nth sorted (List.length sorted - 1)
 
-let resolve_mapping t (l : lstate) =
+let[@transition] resolve_mapping t (l : lstate) =
   match t.mode with
   | Static hwg -> proceed_with_mapping t l hwg
   | Direct -> assert false
@@ -967,7 +967,7 @@ let handle_multiple_mappings t lwg entries =
   | Some l -> (
       match (l.status, l.view, best_entry entries) with
       | L_normal, Some view, Some target
-        when lwg_coordinator view = t.node && l.flush = None && l.hwg <> Some target.Db.hwg ->
+        when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush && not (Option.equal Gid.equal l.hwg (Some target.Db.hwg)) ->
           Logs.debug (fun m -> m "n%d multiple-mappings switch %s" t.node (Gid.to_string lwg));
           Engine.count t.engine "lwg.mapping_reconciliations";
           Engine.trace t.engine (fun () ->
@@ -982,14 +982,14 @@ let handle_multiple_mappings t lwg entries =
 (* ------------------------------------------------------------------ *)
 
 let lwgs_mapped_on t hgid =
-  Hashtbl.fold (fun _ (l : lstate) acc -> if l.hwg = Some hgid then acc + 1 else acc) t.lstates 0
+  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare (fun _ (l : lstate) acc -> if Option.equal Gid.equal l.hwg (Some hgid) then acc + 1 else acc) t.lstates 0
 
 let run_policies_now t =
   match t.mode with
   | Direct | Static _ -> ()
   | Dynamic ->
       let candidates =
-        Hashtbl.fold
+        Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
           (fun hgid hs acc ->
             match hs.hview with
             | Some hv when View.mem t.node hv && Hwg.is_member t.hwg hgid ->
@@ -998,10 +998,10 @@ let run_policies_now t =
           t.hstates []
       in
       (* interference rule, per LWG I coordinate *)
-      Hashtbl.iter
+      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
         (fun _ (l : lstate) ->
           match (l.status, l.view, l.hwg) with
-          | L_normal, Some view, Some hgid when lwg_coordinator view = t.node && l.flush = None -> (
+          | L_normal, Some view, Some hgid when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush -> (
               match List.assoc_opt hgid candidates with
               | Some hwg_members -> (
                   let others = List.filter (fun (g, _) -> not (Gid.equal g hgid)) candidates in
@@ -1056,11 +1056,11 @@ let run_policies_now t =
                       subject = Gid.to_string loser;
                       decision = "collapse-into " ^ Gid.to_string winner;
                     });
-              Hashtbl.iter
+              Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
                 (fun _ (l : lstate) ->
                   match (l.status, l.view, l.hwg) with
                   | L_normal, Some view, Some h
-                    when Gid.equal h loser && lwg_coordinator view = t.node && l.flush = None ->
+                    when Gid.equal h loser && Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush ->
                       start_switch t l winner
                   | _, _, _ -> ())
                 t.lstates)
@@ -1068,7 +1068,7 @@ let run_policies_now t =
       (* shrink rule, per HWG *)
       let now = Engine.now t.engine in
       let to_leave = ref [] in
-      Hashtbl.iter
+      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
         (fun hgid hs ->
           if Hwg.is_member t.hwg hgid then
             match Policy.shrink_decision ~member_of_hwg:true ~lwgs_mapped_here:(lwgs_mapped_on t hgid) with
@@ -1095,9 +1095,9 @@ let run_policies_now t =
 
 let state_grace = Time.sec 2
 
-let tick t =
+let[@transition] tick t =
   let now = Engine.now t.engine in
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun _ (l : lstate) ->
       (* best-effort state transfer: don't hold deliveries forever if the
          coordinator died before shipping the state *)
@@ -1145,8 +1145,8 @@ let tick t =
       | L_normal when l.leaving -> (
           match (l.view, l.hwg) with
           | Some view, Some h ->
-              if view.View.members = [ t.node ] then remove_lstate t l ~installed:true
-              else if lwg_coordinator view = t.node && l.flush = None then
+              if List.equal Node_id.equal view.View.members [ t.node ] then remove_lstate t l ~installed:true
+              else if Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush then
                 start_lflush t l ~new_members:(Node_id.Set.remove t.node (View.members_set view)) ~switch:None
               else multicast_h t h (L_leave_req { lwg = l.lwg; leaver = t.node })
           | _, _ -> ())
@@ -1154,7 +1154,7 @@ let tick t =
           (* coordinator: process queued joins/leaves *)
           match l.view with
           | Some view
-            when lwg_coordinator view = t.node && l.flush = None
+            when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush
                  && ((not (Node_id.Set.is_empty l.pending_joiners))
                     || not (Node_id.Set.is_empty l.pending_leavers)) ->
               let present = hview_members t l in
@@ -1171,7 +1171,7 @@ let tick t =
     t.lstates
 
 let gossip t =
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
     (fun hgid _ ->
       if Hwg.is_member t.hwg hgid then
         match my_plain_views_on t hgid with
@@ -1217,7 +1217,7 @@ let join ?(ordering = Fifo) t lwg =
           Hashtbl.replace t.lstates lwg l;
           resolve_mapping t l)
 
-let leave t lwg =
+let[@transition] leave t lwg =
   match t.mode with
   | Direct -> Hwg.leave t.hwg lwg
   | Static _ | Dynamic -> (
@@ -1226,12 +1226,12 @@ let leave t lwg =
       | Some l -> (
           match (l.status, l.view) with
           | (Resolving _ | Joining_hwg | Announcing _), _ -> remove_lstate t l ~installed:false
-          | _, Some view when view.View.members = [ t.node ] -> remove_lstate t l ~installed:true
+          | _, Some view when List.equal Node_id.equal view.View.members [ t.node ] -> remove_lstate t l ~installed:true
           | _, _ ->
               l.leaving <- true;
               (match (l.view, l.hwg) with
               | Some view, Some h ->
-                  if lwg_coordinator view = t.node then
+                  if Node_id.equal (lwg_coordinator view) t.node then
                     start_lflush t l ~new_members:(Node_id.Set.remove t.node (View.members_set view)) ~switch:None
                   else multicast_h t h (L_leave_req { lwg; leaver = t.node })
               | _, _ -> ())))
@@ -1258,7 +1258,7 @@ let lwgs t =
   match t.mode with
   | Direct -> Hwg.groups t.hwg
   | Static _ | Dynamic ->
-      Hashtbl.fold (fun lwg l acc -> if l.view <> None then lwg :: acc else acc) t.lstates []
+      Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare (fun lwg l acc -> if Option.is_some l.view then lwg :: acc else acc) t.lstates []
       |> List.sort Gid.compare
 
 let enable_state_transfer t callbacks =
@@ -1274,6 +1274,15 @@ let request_switch t lwg target =
 (* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
+
+(* State-transfer install: clears the awaited-state latch and resumes
+   delivery, so it is a designated lstate transition. *)
+let[@transition] install_transferred_state t ~src (l : lstate) callbacks ~state =
+  if Option.is_some l.awaiting_state then begin
+    l.awaiting_state <- None;
+    callbacks.install_state l.lwg ~src state;
+    drain_pend_cur t l
+  end
 
 let handle_hwg_data t ~carrier ~src payload =
   match payload with
@@ -1294,15 +1303,17 @@ let handle_hwg_data t ~carrier ~src payload =
       match (lstate_of t lwg, t.state_callbacks) with
       | Some l, Some callbacks when List.mem t.node recipients -> (
           match l.view with
-          | Some view when View_id.equal view.View.id lview ->
-              if l.awaiting_state <> None then begin
-                l.awaiting_state <- None;
-                callbacks.install_state lwg ~src state;
-                drain_pend_cur t l
-              end
+          | Some view when View_id.equal view.View.id lview -> install_transferred_state t ~src l callbacks ~state
           | Some _ | None -> ())
       | _, _ -> ())
   | _ -> ()
+
+(* Crash recovery severs every held view's carrier lineage (see
+   [shrink_check]): a frozen local view must not mint successor ids. *)
+let[@transition] mark_lineage_rejoined t node =
+  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+    (fun _ (l : lstate) -> if Option.is_some l.view then l.lineage <- L_rejoined node)
+    t.lstates
 
 let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode ~transport ~detector ?ns callbacks node =
   (match (mode, ns) with
@@ -1359,8 +1370,7 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
       (* While this node was crashed the rest of each group kept
          changing views; the frozen local views must not be used to
          mint successor ids (see [shrink_check]). *)
-      Engine.on_recover engine node (fun () ->
-          Hashtbl.iter (fun _ (l : lstate) -> if l.view <> None then l.lineage <- L_rejoined node) t.lstates);
+      Engine.on_recover engine node (fun () -> mark_lineage_rejoined t node);
       let rec tick_loop () =
         if Topology.is_alive (Engine.topology engine) node then tick t;
         let (_ : Engine.cancel) = Engine.after engine (Time.ms 150) tick_loop in

@@ -120,6 +120,9 @@ let handle t payload =
           Plwg_obs.Event.Reconcile_step
             { node = t.node; step = Plwg_obs.Event.Global_discovery; group = Gid.to_string lwg });
       List.iter (fun handler -> handler lwg entries) (List.rev t.mm_handlers)
+  (* server-bound requests: a client endpoint can legitimately see them
+     only if it shares a node with a server; never ours to answer *)
+  | Ns_set _ | Ns_read _ | Ns_testset _ | Ns_gossip _ -> ()
   | _ -> ()
 
 let create ?(config = default_config) ~transport ~detector ~servers node =
@@ -144,7 +147,7 @@ let create ?(config = default_config) ~transport ~detector ~servers node =
      leaving its request pending with no timer.  On recovery, charge the
      lost window as a timed-out attempt and resume the retry schedule. *)
   Engine.on_recover engine node (fun () ->
-      let stuck = Hashtbl.fold (fun req p acc -> (req, p) :: acc) t.pending [] in
+      let stuck = Plwg_util.Tbl.bindings_sorted ~cmp:Int.compare t.pending in
       List.iter
         (fun (req, p) ->
           if Hashtbl.mem t.pending req then begin
@@ -152,5 +155,5 @@ let create ?(config = default_config) ~transport ~detector ~servers node =
             p.attempt <- p.attempt + 1;
             if p.attempt >= t.config.max_attempts then give_up t req p else transmit t req p
           end)
-        (List.sort (fun (a, _) (b, _) -> Int.compare a b) stuck));
+        stuck);
   t

@@ -30,7 +30,7 @@ let live_of t lwg =
   List.filter (fun e -> not (View_id.Set.mem e.lwg_view dead)) all
 
 let retire t lwg views =
-  if views <> [] then begin
+  if not (List.is_empty views) then begin
     let dead = List.fold_left (fun acc v -> View_id.Set.add v acc) (superseded_of t lwg) views in
     t.superseded <- Gid.Map.add lwg dead t.superseded;
     (* drop retired entries eagerly; the superseded set remembers them *)
@@ -48,7 +48,7 @@ let entry_order a b =
   if c <> 0 then c
   else
     let c = Option.compare View_id.compare a.hwg_view b.hwg_view in
-    if c <> 0 then c else compare a.members b.members
+    if c <> 0 then c else List.compare Plwg_sim.Node_id.compare a.members b.members
 
 let insert ~resolve t entry =
   if not (View_id.Set.mem entry.lwg_view (superseded_of t entry.lwg)) then begin
@@ -77,6 +77,14 @@ let test_and_set t entry =
       read t entry.lwg
   | existing -> existing
 
+let entry_equal a b =
+  Gid.equal a.lwg b.lwg
+  && View_id.equal a.lwg_view b.lwg_view
+  && List.equal Plwg_sim.Node_id.equal a.members b.members
+  && Gid.equal a.hwg b.hwg
+  && Option.equal View_id.equal a.hwg_view b.hwg_view
+  && List.equal View_id.equal a.preds b.preds
+
 let merge t other =
   let before_entries = t.entries and before_superseded = t.superseded in
   (* union of superseded knowledge first, so dead entries never revive *)
@@ -85,7 +93,7 @@ let merge t other =
   Gid.Map.iter (fun _ entries -> List.iter (fun e -> insert ~resolve:true t e) entries) other.entries;
   (* re-apply GC with the merged superseded sets *)
   Gid.Map.iter (fun lwg dead -> retire t lwg (View_id.Set.elements dead)) t.superseded;
-  not (Gid.Map.equal (fun a b -> a = b) before_entries t.entries)
+  not (Gid.Map.equal (List.equal entry_equal) before_entries t.entries)
   || not (Gid.Map.equal View_id.Set.equal before_superseded t.superseded)
 
 let conflicting t lwg =
@@ -94,7 +102,7 @@ let conflicting t lwg =
   | first :: rest -> List.exists (fun e -> not (Gid.equal e.hwg first.hwg)) rest
 
 let lwgs t =
-  Gid.Map.fold (fun lwg _ acc -> if live_of t lwg <> [] then lwg :: acc else acc) t.entries []
+  Gid.Map.fold (fun lwg _ acc -> if not (List.is_empty (live_of t lwg)) then lwg :: acc else acc) t.entries []
   |> List.sort Gid.compare
 
 let conflicts t = List.filter (conflicting t) (lwgs t)

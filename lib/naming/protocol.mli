@@ -1,0 +1,13 @@
+(** Wire messages of the naming service. *)
+
+open Plwg_sim
+open Plwg_vsync.Types
+
+type Payload.t +=
+  | Ns_set of { req : int; from : Node_id.t; entry : Db.entry }
+  | Ns_read of { req : int; from : Node_id.t; lwg : Gid.t }
+  | Ns_testset of { req : int; from : Node_id.t; entry : Db.entry }
+  | Ns_reply of { req : int; entries : Db.entry list }
+  | Ns_ack of { req : int }
+  | Ns_gossip of { from : Node_id.t; db : Db.t }
+  | Ns_multiple_mappings of { lwg : Gid.t; entries : Db.entry list }

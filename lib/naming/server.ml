@@ -63,6 +63,9 @@ let handle t ~src payload =
   | Ns_gossip { from = _; db } ->
       ignore src;
       if Db.merge t.db db then notify_conflicts t
+  (* client-bound replies: only seen here when a client shares the node;
+     the wildcard below is for foreign (non-naming) payloads *)
+  | Ns_reply _ | Ns_ack _ | Ns_multiple_mappings _ -> ()
   | _ -> ()
 
 let create ?(config = default_config) ~transport ~detector ~peers node =

@@ -1,0 +1,29 @@
+(** A deliberately small JSON value type with printer and parser, enough
+    for trace export/import without pulling in an external dependency.
+    Numbers are restricted to integers: every quantity we trace
+    (timestamps, node ids, latencies) is integral. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Raises [Parse_error] on malformed input. *)
+val of_string : string -> t
+
+(** Field lookup on [Obj]; [Null] when absent or not an object. *)
+val member : string -> t -> t
+
+(** The [to_*] accessors raise [Parse_error] on a shape mismatch. *)
+
+val to_int : t -> int
+val to_str : t -> string
+val to_bool : t -> bool
+val to_list : t -> t list

@@ -11,7 +11,7 @@ let percentile p samples =
   match samples with
   | [] -> 0.0
   | _ ->
-      let sorted = List.sort compare samples in
+      let sorted = List.sort Float.compare samples in
       let n = List.length sorted in
       let rank = int_of_float (ceil (p *. float_of_int n)) in
       let rank = max 1 (min n rank) in
@@ -90,11 +90,9 @@ let summary t name =
           p99 = percentile 0.99 samples;
         }
 
-let counters t =
-  Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t.counters [] |> List.sort (fun (a, _) (b, _) -> compare a b)
+let counters t = Plwg_util.Tbl.fold_sorted ~cmp:String.compare (fun name cell acc -> (name, !cell) :: acc) t.counters [] |> List.rev
 
-let histogram_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.histograms [] |> List.sort compare
+let histogram_names t = Plwg_util.Tbl.keys_sorted ~cmp:String.compare t.histograms
 
 let report ppf t =
   let cs = counters t in

@@ -1,0 +1,13 @@
+(** Observability root: a trace sink plus a metrics registry, handed to
+    the simulator at creation time.  When absent every instrumentation
+    site reduces to one branch on [None] — event construction is
+    guarded behind thunks, so tracing is free when disabled. *)
+
+module Json = Json
+module Event = Event
+module Sink = Sink
+module Metrics = Metrics
+
+type t = { sink : Sink.t; metrics : Metrics.t }
+
+val create : ?capacity:int -> unit -> t

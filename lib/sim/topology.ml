@@ -72,10 +72,10 @@ let reachable t a b =
 let component_of t node =
   check_node t node;
   if not t.alive.(node) then []
-  else if t.comp_cache_gen.(node) = t.generation then t.comp_cache.(node)
+  else if Int.equal t.comp_cache_gen.(node) t.generation then t.comp_cache.(node)
   else begin
     let members =
-      List.filter (fun other -> t.alive.(other) && t.component.(other) = t.component.(node)) (all_nodes t)
+      List.filter (fun other -> t.alive.(other) && Int.equal t.component.(other) t.component.(node)) (all_nodes t)
     in
     (* the list is identical for every member; fill their slots too so a
        sweep over all nodes rebuilds each class once, not once per node *)

@@ -233,7 +233,7 @@ let endpoint t node =
          would never fire while [ack_pending] stays set.  Reset both on
          recovery so backlogs drain again. *)
       Engine.on_recover t.fabric_engine node (fun () ->
-          Hashtbl.iter
+          Plwg_util.Tbl.iter_sorted ~cmp:Node_id.compare
             (fun dst oc ->
               if not (Deque.is_empty oc.unacked) then begin
                 (match oc.timer with Some cancel -> cancel () | None -> ());
@@ -242,7 +242,7 @@ let endpoint t node =
                 arm_timer ep ~dst oc
               end)
             ep.outs;
-          Hashtbl.iter
+          Plwg_util.Tbl.iter_sorted ~cmp:Node_id.compare
             (fun dst ic ->
               if ic.ack_pending then begin
                 ic.ack_pending <- false;
@@ -252,7 +252,7 @@ let endpoint t node =
       ep
 
 let send ep ~dst body =
-  if dst = ep.node then
+  if Node_id.equal dst ep.node then
     (* local loop-back: the engine's self-delivery is already reliable FIFO *)
     Engine.send ep.engine ~src:ep.node ~dst body
   else begin

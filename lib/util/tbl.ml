@@ -1,0 +1,25 @@
+(* Deterministic iteration over hash tables.  OCaml's [Hashtbl] makes
+   no ordering promise: bucket layout depends on the exact
+   insertion/resize history, so [Hashtbl.iter]/[Hashtbl.fold] are a
+   reproducibility hazard whenever their order can reach a message, a
+   trace line or an accumulated list.  These helpers snapshot the
+   bindings and sort them by key under an explicit comparator before
+   anything observes them — the one blessed way to walk a table in this
+   codebase (enforced by plwg-lint's hashtbl-iter-order rule).
+
+   Multi-bindings (repeated [Hashtbl.add] under one key) are kept: the
+   sort is stable, so same-key bindings stay in [Hashtbl.fold] order
+   (most recent first), which is itself deterministic. *)
+
+let bindings_sorted ~cmp tbl =
+  (* plwg-lint: allow hashtbl-iter-order — the single blessed
+     accumulation point: the unordered fold is sorted before any caller
+     can observe it *)
+  let all = Hashtbl.fold (fun key value acc -> (key, value) :: acc) tbl [] in
+  List.stable_sort (fun (a, _) (b, _) -> cmp a b) all
+
+let keys_sorted ~cmp tbl = List.map fst (bindings_sorted ~cmp tbl)
+let iter_sorted ~cmp f tbl = List.iter (fun (key, value) -> f key value) (bindings_sorted ~cmp tbl)
+
+let fold_sorted ~cmp f tbl init =
+  List.fold_left (fun acc (key, value) -> f key value acc) init (bindings_sorted ~cmp tbl)

@@ -1,0 +1,25 @@
+(** Deterministic (sorted-key) iteration over [Hashtbl.t].
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit bindings in bucket order, which
+    depends on the table's insertion and resize history — a
+    reproducibility hazard whenever iteration order can reach a message,
+    a trace line or an accumulated list.  Every table walk in this
+    codebase goes through these helpers with an explicit key comparator
+    (enforced by plwg-lint's [hashtbl-iter-order] rule). *)
+
+val bindings_sorted : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key under [cmp].  The sort is stable:
+    same-key multi-bindings stay in [Hashtbl.fold] order (most recent
+    first). *)
+
+val keys_sorted : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Keys in ascending [cmp] order (one per binding; a multi-bound key
+    appears once per binding). *)
+
+val iter_sorted : cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted ~cmp f tbl] applies [f] to every binding in ascending
+    key order. *)
+
+val fold_sorted : cmp:('k -> 'k -> int) -> ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** [fold_sorted ~cmp f tbl init] folds over bindings in ascending key
+    order. *)

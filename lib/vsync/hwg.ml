@@ -190,7 +190,7 @@ let fresh_foreign t g =
 let add_foreign t g nodes =
   let now = Engine.now t.engine in
   let known = List.map snd g.foreign in
-  let extra = List.filter (fun n -> n <> t.node && not (List.mem n known)) nodes in
+  let extra = List.filter (fun n -> (not (Node_id.equal n t.node)) && not (List.mem n known)) nodes in
   (* refresh timestamps of re-announced nodes *)
   g.foreign <-
     List.map (fun (seen, n) -> if List.mem n nodes then (now, n) else (seen, n)) g.foreign
@@ -216,7 +216,7 @@ let deliver_upcall t g msg ~view_id =
         else false
   in
   if upcall then begin
-    if msg.origin = t.node then begin
+    if Node_id.equal msg.origin t.node then begin
       (* total-order pending sends complete in FIFO order, so the one
          just delivered is almost always at the front *)
       match Deque.peek_front g.to_pending with
@@ -249,13 +249,13 @@ let store_to_list g =
    causal mode, every delivery its vector clock records has happened
    here too. *)
 let deliverable g msg =
-  msg.seq = delivered_count g.delivered msg.sender
+  Int.equal msg.seq (delivered_count g.delivered msg.sender)
   &&
   match g.ordering with
   | Fifo | Total -> true
   | Causal ->
       List.for_all
-        (fun (node, count) -> node = msg.sender || delivered_count g.delivered node >= count)
+        (fun (node, count) -> Node_id.equal node msg.sender || delivered_count g.delivered node >= count)
         msg.vc
 
 (* Deliver any frozen messages for the current view that are now in
@@ -319,7 +319,7 @@ let send_in_view t g body =
           g.next_local <- local_id + 1;
           Deque.push_back g.to_pending (local_id, body);
           let coord = View.coordinator view in
-          if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
+          if Node_id.equal coord t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
           else
             unicast t ~dst:coord
               (Hw_to_req { group = g.group; view_id = view.View.id; origin = t.node; local_id; body }))
@@ -387,7 +387,7 @@ let after_install_resume t g =
           let coord = View.coordinator view in
           Deque.iter
             (fun (local_id, body) ->
-              if coord = t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
+              if Node_id.equal coord t.node then stamp_and_multicast t g ~origin:t.node ~local_id body
               else
                 unicast t ~dst:coord
                   (Hw_to_req { group = g.group; view_id = view.View.id; origin = t.node; local_id; body }))
@@ -436,7 +436,7 @@ let rec evaluate t g =
         let pool =
           Node_id.Set.inter (Node_id.Set.union current (fresh_foreign t g)) reachable
         in
-        if g.view = None then begin
+        if Option.is_none g.view then begin
           let others = Node_id.Set.remove t.node pool in
           if not (Node_id.Set.is_empty others) then
             unicast t ~dst:(Node_id.Set.min_elt others)
@@ -460,7 +460,7 @@ let rec evaluate t g =
         else begin
         let pool = Node_id.Set.add t.node pool in
         let coord = Node_id.Set.min_elt pool in
-        if coord = t.node then begin
+        if Node_id.equal coord t.node then begin
           match g.change with
           | Some change when Node_id.Set.equal change.ch_proposal desired -> () (* already in progress *)
           | Some change ->
@@ -549,7 +549,7 @@ and handle_stop t ~src:_ ~group ~epoch ~coord ~proposal =
              joiner with no view, which must never be elected leader *)
           g.last_proposal <- Node_id.Set.of_list proposal;
           (match g.change with
-          | Some change when coord <> t.node -> cancel_change t g change ~outcome:"superseded"
+          | Some change when not (Node_id.equal coord t.node) -> cancel_change t g change ~outcome:"superseded"
           | Some _ | None -> ());
           let was_stopped = match g.status with Stopped _ -> true | Joining _ | Normal -> false in
           g.status <- Stopped { st_epoch = epoch; st_coord = coord; acked = false; st_since = Engine.now t.engine };
@@ -644,7 +644,7 @@ and finalize t g change =
     infos;
   let cuts = Hashtbl.create 8 in
   (* cut per (prev view id): sender -> max delivered count *)
-  Hashtbl.iter
+  Plwg_util.Tbl.iter_sorted ~cmp:View_id.compare
     (fun prev_id bucket ->
       let cut =
         List.fold_left
@@ -697,7 +697,11 @@ and finalize t g change =
                             member)
                 done)
               cut;
-            List.sort (fun a b -> compare (a.sender, a.seq) (b.sender, b.seq)) !missing)
+            List.sort
+              (fun a b ->
+                let c = Node_id.compare a.sender b.sender in
+                if c <> 0 then c else Int.compare a.seq b.seq)
+              !missing)
   in
   Node_id.Map.iter
     (fun member info ->
@@ -721,7 +725,7 @@ and handle_install t ~group ~epoch ~view ~sync ~you_left =
          the lineage (our flush state no longer matches it). *)
       let expected =
         match g.status with
-        | Stopped { st_epoch; st_coord; _ } -> epoch = st_epoch && view.View.id.View_id.coord = st_coord
+        | Stopped { st_epoch; st_coord; _ } -> Int.equal epoch st_epoch && Node_id.equal view.View.id.View_id.coord st_coord
         | Joining _ | Normal -> false
       in
       if not expected then Logs.debug (fun m -> m "n%d reject-install %s e%d from-coord=%d status=%s" t.node (Gid.to_string group) epoch view.View.id.View_id.coord (match g.status with Stopped {st_epoch;st_coord;_} -> Printf.sprintf "stopped(e%d,c%d)" st_epoch st_coord | Joining _ -> "joining" | Normal -> "normal"));
@@ -761,7 +765,7 @@ and handle_join_announce t ~group ~joiner =
   match lookup t group with
   | None -> ()
   | Some g ->
-      if g.view <> None && not (Node_id.Set.mem joiner g.joiners) then begin
+      if Option.is_some g.view && not (Node_id.Set.mem joiner g.joiners) then begin
         (match g.view with
         | Some v when View.mem joiner v -> () (* already in *)
         | Some _ | None -> g.joiners <- Node_id.Set.add joiner g.joiners);
@@ -820,7 +824,7 @@ and handle_to_req t ~group ~view_id ~origin ~local_id ~body =
   | None -> ()
   | Some g -> (
       match (g.status, g.view) with
-      | Normal, Some view when View_id.equal view.View.id view_id && View.coordinator view = t.node ->
+      | Normal, Some view when View_id.equal view.View.id view_id && Node_id.equal (View.coordinator view) t.node ->
           let stamped = delivered_count g.to_stamped origin in
           if local_id >= stamped then begin
             g.to_stamped <- Node_id.Map.add origin (local_id + 1) g.to_stamped;
@@ -897,7 +901,7 @@ let install_singleton t g =
 
 let announce t g =
   match (g.status, g.view) with
-  | (Normal | Stopped _), Some view when View.coordinator view = t.node ->
+  | (Normal | Stopped _), Some view when Node_id.equal (View.coordinator view) t.node ->
       broadcast t (Hw_view_announce { group = g.group; view_id = view.View.id; members = view.View.members })
   | _, _ -> ()
 
@@ -995,7 +999,7 @@ let leave t group =
   | Some g -> (
       match (g.status, g.view) with
       | Joining _, _ -> remove_group t g
-      | _, Some view when view.View.members = [ t.node ] -> remove_group t g
+      | _, Some view when List.equal Node_id.equal view.View.members [ t.node ] -> remove_group t g
       | _, _ ->
           g.leaving_self <- true;
           g.leavers <- Node_id.Set.add t.node g.leavers;
@@ -1024,15 +1028,17 @@ let is_member t group =
   | None -> false
 
 let groups t =
-  Hashtbl.fold (fun group g acc -> if g.view <> None then group :: acc else acc) t.states []
-  |> List.sort Gid.compare
+  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
+    (fun group g acc -> if Option.is_some g.view then group :: acc else acc)
+    t.states []
+  |> List.rev
 
 let store_size t group = match lookup t group with Some g -> g.store_count | None -> 0
 
 let store_peak t group = match lookup t group with Some g -> g.store_peak | None -> 0
 
 let am_coordinator t group =
-  match view_of t group with Some view -> View.coordinator view = t.node | None -> false
+  match view_of t group with Some view -> Node_id.equal (View.coordinator view) t.node | None -> false
 
 (* A finalized view change clears want_flush: hook into install. *)
 
@@ -1082,14 +1088,15 @@ let create ?(config = default_config) ?recorder ~transport ~detector callbacks n
           handle_to_req t ~group ~view_id ~origin ~local_id ~body
       | Hw_stable { group; view_id; from; delivered } -> handle_stable t ~group ~view_id ~from ~delivered
       | _ -> ());
-  Detector.on_change detector (fun _peer _status -> Hashtbl.iter (fun _ g -> evaluate t g) t.states);
+  Detector.on_change detector (fun _peer _status ->
+      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare (fun _ g -> evaluate t g) t.states);
   (* Timers pending when this node crashed were silently skipped, so an
      in-flight change may have lost its deadline timer.  On recovery,
      close it (pairing its Flush_begin) and re-evaluate every group so
      membership restarts from current reachability. *)
   Engine.on_recover engine node (fun () ->
-      Hashtbl.iter
+      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
         (fun _ g -> match g.change with Some change -> cancel_change t g change ~outcome:"recovered" | None -> ())
         t.states;
-      Hashtbl.iter (fun _ g -> evaluate t g) t.states);
+      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare (fun _ g -> evaluate t g) t.states);
   t

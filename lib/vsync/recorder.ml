@@ -21,7 +21,7 @@ let deliveries t =
 
 let installs_of t ~node ~group =
   List.filter_map
-    (fun (n, view) -> if n = node && Gid.equal view.View.group group then Some view else None)
+    (fun (n, view) -> if Node_id.equal n node && Gid.equal view.View.group group then Some view else None)
     (installs t)
 
 let check_self_inclusion t =
@@ -41,7 +41,7 @@ let check_view_agreement t =
           Hashtbl.add tbl key view;
           None
       | Some first ->
-          if first.View.members = view.View.members then None
+          if List.equal Node_id.equal first.View.members view.View.members then None
           else
             Some
               (Format.asprintf "view %a of %a installed with members %a at %a but %a elsewhere" View_id.pp
@@ -71,7 +71,12 @@ let group_installs t =
           | None -> ())
       | Hwg.Delivered _ -> ())
     (events t);
-  Hashtbl.fold (fun key views acc -> (key, List.rev views) :: acc) open_segments !closed
+  Plwg_util.Tbl.fold_sorted
+    ~cmp:(fun (na, ga) (nb, gb) ->
+      let c = Node_id.compare na nb in
+      if c <> 0 then c else Gid.compare ga gb)
+    (fun key views acc -> (key, List.rev views) :: acc)
+    open_segments !closed
 
 let check_local_monotonicity t =
   List.concat_map
@@ -140,9 +145,12 @@ let check_fifo t =
 let segment_deliveries t ~node ~group ~view_id =
   List.fold_left
     (fun acc (n, g, vid, origin, local_id) ->
-      if n = node && Gid.equal g group && View_id.equal vid view_id then (origin, local_id) :: acc else acc)
+      if Node_id.equal n node && Gid.equal g group && View_id.equal vid view_id then (origin, local_id) :: acc
+      else acc)
     [] (deliveries t)
-  |> List.sort compare
+  |> List.sort (fun (na, la) (nb, lb) ->
+       let c = Node_id.compare na nb in
+       if c <> 0 then c else Int.compare la lb)
 
 let check_virtual_synchrony t =
   (* key: (group, V.id, V'.id) for consecutive installs; value: node -> set *)
@@ -162,14 +170,21 @@ let check_virtual_synchrony t =
       in
       walk views)
     (group_installs t);
-  Hashtbl.fold
+  Plwg_util.Tbl.fold_sorted
+    ~cmp:(fun (ga, va, va') (gb, vb, vb') ->
+      let c = Gid.compare ga gb in
+      if c <> 0 then c
+      else
+        let c = View_id.compare va vb in
+        if c <> 0 then c else View_id.compare va' vb')
     (fun (group, v, v') bucket acc ->
       match bucket with
       | [] | [ _ ] -> acc
       | (first_node, first_segment) :: rest ->
           List.fold_left
             (fun acc (node, segment) ->
-              if segment = first_segment then acc
+              if List.equal (fun (na, la) (nb, lb) -> Node_id.equal na nb && Int.equal la lb) segment first_segment
+              then acc
               else
                 Format.asprintf
                   "virtual synchrony violated in %a between %a and %a: %a delivered %d messages, %a delivered %d"
@@ -196,12 +211,12 @@ let check_total_order t ~group =
     (deliveries t);
   let prefix_compatible a b =
     let rec walk = function
-      | x :: xs, y :: ys -> x = y && walk (xs, ys)
+      | (xo, xl) :: xs, (yo, yl) :: ys -> Node_id.equal xo yo && Int.equal xl yl && walk (xs, ys)
       | [], _ | _, [] -> true
     in
     walk (a, b)
   in
-  Hashtbl.fold
+  Plwg_util.Tbl.fold_sorted ~cmp:View_id.compare
     (fun view_id bucket acc ->
       let sequences = List.map (fun (node, rev) -> (node, List.rev rev)) bucket in
       match sequences with

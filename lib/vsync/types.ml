@@ -8,27 +8,22 @@ open Plwg_sim
     ordered, which the paper's reconciliation rule — "switch to the HWG
     with the highest group identifier" (Section 6.2) — depends on. *)
 module Gid = struct
-  type t = { seq : int; origin : Node_id.t }
+  module Ord = struct
+    type t = { seq : int; origin : Node_id.t }
 
-  let compare a b =
-    let c = Int.compare a.seq b.seq in
-    if c <> 0 then c else Node_id.compare a.origin b.origin
+    let compare a b =
+      let c = Int.compare a.seq b.seq in
+      if c <> 0 then c else Node_id.compare a.origin b.origin
+  end
+
+  include Ord
 
   let equal a b = compare a b = 0
   let pp ppf t = Format.fprintf ppf "g%d.%a" t.seq Node_id.pp t.origin
   let to_string t = Format.asprintf "%a" pp t
 
-  module Map = Map.Make (struct
-    type nonrec t = t
-
-    let compare = compare
-  end)
-
-  module Set = Set.Make (struct
-    type nonrec t = t
-
-    let compare = compare
-  end)
+  module Map = Map.Make (Ord)
+  module Set = Set.Make (Ord)
 end
 
 (** View identifier: [(coordinator, view-sequence-number)] exactly as in
@@ -36,27 +31,22 @@ end
     coordinator's local counter and made larger than every predecessor
     view's, so ids are unique and grow along any chain of views. *)
 module View_id = struct
-  type t = { coord : Node_id.t; seq : int }
+  module Ord = struct
+    type t = { coord : Node_id.t; seq : int }
 
-  let compare a b =
-    let c = Int.compare a.seq b.seq in
-    if c <> 0 then c else Node_id.compare a.coord b.coord
+    let compare a b =
+      let c = Int.compare a.seq b.seq in
+      if c <> 0 then c else Node_id.compare a.coord b.coord
+  end
+
+  include Ord
 
   let equal a b = compare a b = 0
   let pp ppf t = Format.fprintf ppf "v%d@%a" t.seq Node_id.pp t.coord
   let to_string t = Format.asprintf "%a" pp t
 
-  module Map = Map.Make (struct
-    type nonrec t = t
-
-    let compare = compare
-  end)
-
-  module Set = Set.Make (struct
-    type nonrec t = t
-
-    let compare = compare
-  end)
+  module Map = Map.Make (Ord)
+  module Set = Set.Make (Ord)
 end
 
 (** An installed view: membership plus lineage.  [preds] lists the view

@@ -14,4 +14,5 @@ let () =
       ("reconcile", Test_reconcile.suite);
       ("harness", Test_harness.suite);
       ("chaos", Test_chaos.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -170,6 +170,19 @@ let repro_recovered_merge =
 let repro_loss_burst =
   {|{"schema":"plwg-chaos-repro/1","seed":118788,"mode":"dynamic","profile":"heavy","script":[{"at_us":12000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":181394,"proc_us":20}],"tail":[{"at_us":40000000,"step":"set-model","link_base_us":200,"link_jitter_us":100,"drop_ppm":0,"proc_us":20},{"at_us":40100000,"step":"recover","node":0},{"at_us":40200000,"step":"recover","node":1},{"at_us":40300000,"step":"recover","node":2},{"at_us":40400000,"step":"recover","node":3},{"at_us":40500000,"step":"recover","node":4},{"at_us":40600000,"step":"recover","node":5},{"at_us":40700000,"step":"recover","node":6},{"at_us":40800000,"step":"recover","node":7},{"at_us":41000000,"step":"heal"}]}|}
 
+(* ROADMAP's heavy-profile liveness miss: `chaos --seed 118788 --runs 1
+   --profile heavy` used to strand an isolated node's carrier view and
+   two MULTIPLE-MAPPINGS past the settle span.  The sorted-iteration
+   determinism fixes (plwg-lint's hashtbl-iter-order sweep) changed the
+   message emission order and the schedule now converges; pin it so the
+   liveness fix cannot silently regress, and run the schedule twice to
+   hold the trace byte-for-byte reproducible. *)
+let test_heavy_118788_converges () =
+  let schedule = Chaos.generate ~seed:118788 ~mode:Stack.Dynamic Chaos.heavy in
+  let verdict = Chaos.run_schedule schedule in
+  Alcotest.(check (list string)) "formerly-failing heavy seed converges" [] verdict.Chaos.failures;
+  Alcotest.(check (list string)) "trace is seed-reproducible" [] (Chaos.check_determinism schedule)
+
 let suite =
   [
     Alcotest.test_case "generate is deterministic" `Quick test_generate_deterministic;
@@ -181,4 +194,5 @@ let suite =
     Alcotest.test_case "replay: stale view after exclusion" `Quick (replay "stale exclusion" repro_stale_exclusion);
     Alcotest.test_case "replay: recovered node merge round" `Quick (replay "recovered merge" repro_recovered_merge);
     Alcotest.test_case "replay: sustained loss burst" `Quick (replay "loss burst" repro_loss_burst);
+    Alcotest.test_case "heavy seed 118788 converges deterministically" `Slow test_heavy_118788_converges;
   ]

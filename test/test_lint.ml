@@ -1,0 +1,222 @@
+(* plwg-lint rule catalog exercised against small fixtures: every rule
+   must fire on a minimal offender, stay quiet on the blessed
+   alternative, honor inline suppressions, and the baseline must mask
+   exactly its recorded findings. *)
+
+let rules_of findings = List.map (fun (f : Lint_rules.finding) -> Lint_rules.name f.rule) findings
+
+let lint ?families ?(require_mli = false) ?(has_mli = true) source =
+  Lint_engine.lint_source ?families ~require_mli ~has_mli ~path:"lib/fixture/fixture.ml" source
+
+let check_fires rule source () =
+  let found = rules_of (lint source) in
+  Alcotest.(check bool) (rule ^ " fires") true (List.mem rule found)
+
+let check_quiet source () =
+  Alcotest.(check (list string)) "no findings" [] (rules_of (lint source))
+
+(* ---------------- determinism rules ---------------- *)
+
+let hashtbl_iter_fires = check_fires "hashtbl-iter-order" "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl"
+let hashtbl_fold_fires = check_fires "hashtbl-iter-order" "let f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl []"
+
+let tbl_sorted_quiet =
+  check_quiet "let f tbl = Plwg_util.Tbl.iter_sorted ~cmp:String.compare (fun _ _ -> ()) tbl"
+
+let random_fires = check_fires "random-outside-rng" "let f () = Random.int 6"
+
+let random_inside_rng_quiet () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:false ~has_mli:true ~path:"lib/util/rng.ml" "let f () = Random.int 6"
+  in
+  Alcotest.(check (list string)) "Rng module exempt" [] (rules_of findings)
+
+let wall_clock_fires = check_fires "wall-clock" "let f () = Unix.gettimeofday ()"
+let sys_time_fires = check_fires "wall-clock" "let f () = Sys.time ()"
+
+let poly_eq_fires = check_fires "poly-compare-protocol" "let f view a = view = a"
+let poly_compare_value_fires = check_fires "poly-compare-protocol" "let f xs = List.sort compare xs"
+
+let poly_compare_fn_quiet = check_quiet "let f xs = List.sort Gid.compare xs"
+let int_equal_quiet = check_quiet "let f (view : int) a = Int.equal view a"
+
+(* ---------------- protocol rules ---------------- *)
+
+let dispatch_source =
+  {|
+type Payload.t += Ns_a of int | Ns_b of int
+let f payload = match payload with Ns_a _ -> 1 | _ -> 0
+|}
+
+let dispatch_wildcard_fires = check_fires "dispatch-wildcard" dispatch_source
+
+let dispatch_exhaustive_quiet =
+  check_quiet
+    {|
+type Payload.t += Ns_a of int | Ns_b of int
+let f payload = match payload with Ns_a _ -> 1 | Ns_b _ -> 2 | _ -> 0
+|}
+
+let cross_file_families () =
+  (* constructors declared in another file still constrain this match *)
+  let families =
+    Lint_engine.collect_families
+      (Lint_engine.parse ~path:"other.ml" "type Payload.t += Ns_a of int | Ns_b of int")
+      Lint_engine.StringMap.empty
+  in
+  let findings = lint ~families "let f payload = match payload with Ns_a _ -> 1 | _ -> 0" in
+  Alcotest.(check bool) "family from other file" true (List.mem "dispatch-wildcard" (rules_of findings))
+
+let lstate_source =
+  {|
+type lstate = { mutable view : int option; lwg : int }
+let f (l : lstate) = l.view <- None
+|}
+
+let lstate_mutation_fires = check_fires "lstate-mutation" lstate_source
+
+let lstate_transition_quiet =
+  check_quiet
+    {|
+type lstate = { mutable view : int option; lwg : int }
+let f (l : lstate) = l.view <- None [@@transition]
+let g (l : lstate) = l.view <- Some 1 [@@plwg.transition]
+let[@transition] h (l : lstate) = l.view <- None
+|}
+
+let missing_mli_fires () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:true ~has_mli:false ~path:"lib/fixture/fixture.ml" "let x = 1"
+  in
+  Alcotest.(check (list string)) "missing-mli" [ "missing-mli" ] (rules_of findings)
+
+let has_mli_quiet () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:true ~has_mli:true ~path:"lib/fixture/fixture.ml" "let x = 1"
+  in
+  Alcotest.(check (list string)) "mli present" [] (rules_of findings)
+
+(* ---------------- suppressions ---------------- *)
+
+let suppression_honored =
+  check_quiet
+    {|
+(* plwg-lint: allow hashtbl-iter-order — fixture *)
+let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+|}
+
+let suppression_wrong_rule () =
+  let source =
+    {|
+(* plwg-lint: allow wall-clock — wrong rule *)
+let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+|}
+  in
+  Alcotest.(check bool) "wrong rule does not mask" true (List.mem "hashtbl-iter-order" (rules_of (lint source)))
+
+let suppression_all () =
+  let source =
+    {|
+(* plwg-lint: allow all — fixture *)
+let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+|}
+  in
+  Alcotest.(check (list string)) "allow all masks" [] (rules_of (lint source))
+
+let suppression_scope () =
+  (* the suppression covers only the next line, not the whole file *)
+  let source =
+    {|
+(* plwg-lint: allow hashtbl-iter-order — fixture *)
+let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+let g tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl []
+|}
+  in
+  Alcotest.(check (list string)) "second site still fires" [ "hashtbl-iter-order" ] (rules_of (lint source))
+
+let marker_without_rules_inert () =
+  (* the marker only suppresses when a recognized rule name follows it *)
+  let source =
+    {|
+(* see the plwg-lint: allow conventions in the README *)
+let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+|}
+  in
+  Alcotest.(check bool) "marker without rule names does not suppress" true
+    (List.mem "hashtbl-iter-order" (rules_of (lint source)))
+
+(* ---------------- baseline ---------------- *)
+
+let baseline_masks_exactly () =
+  let findings = lint "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\nlet g () = Unix.gettimeofday ()" in
+  Alcotest.(check int) "two findings" 2 (List.length findings);
+  let masked = List.filter (fun (f : Lint_rules.finding) -> f.rule = Lint_rules.Wall_clock) findings in
+  let entries = List.map (fun f -> Lint_baseline.entry_of_finding f ~reason:"fixture") masked in
+  let unmasked, stale = Lint_baseline.apply entries findings in
+  Alcotest.(check (list string)) "only the baselined finding is masked" [ "hashtbl-iter-order" ] (rules_of unmasked);
+  Alcotest.(check int) "no stale entries" 0 (List.length stale)
+
+let baseline_stale_detected () =
+  let entries =
+    [ { Lint_baseline.rule = "wall-clock"; file = "lib/fixture/fixture.ml"; source_line = "gone"; reason = "fixture" } ]
+  in
+  let unmasked, stale = Lint_baseline.apply entries [] in
+  Alcotest.(check int) "nothing unmasked" 0 (List.length unmasked);
+  Alcotest.(check int) "entry reported stale" 1 (List.length stale)
+
+let baseline_one_entry_one_finding () =
+  (* a single entry masks one occurrence, not every identical line *)
+  let findings =
+    lint "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\nlet g tbl = Hashtbl.iter (fun _ _ -> ()) tbl"
+  in
+  let same =
+    List.filter (fun (f : Lint_rules.finding) -> f.rule = Lint_rules.Hashtbl_iter_order) findings
+  in
+  Alcotest.(check int) "two identical findings" 2 (List.length same);
+  let entries = [ Lint_baseline.entry_of_finding (List.hd same) ~reason:"fixture" ] in
+  let unmasked, stale = Lint_baseline.apply entries findings in
+  Alcotest.(check int) "one still unmasked" 1 (List.length unmasked);
+  Alcotest.(check int) "no stale entries" 0 (List.length stale)
+
+let baseline_json_roundtrip () =
+  let entries =
+    [ { Lint_baseline.rule = "wall-clock"; file = "bench/macro.ml"; source_line = "let w = x"; reason = "bench" } ]
+  in
+  match Lint_baseline.of_json (Plwg_obs.Json.of_string (Plwg_obs.Json.to_string (Lint_baseline.to_json entries))) with
+  | Error msg -> Alcotest.fail msg
+  | Ok round ->
+      Alcotest.(check int) "one entry" 1 (List.length round);
+      let e = List.hd round in
+      Alcotest.(check string) "rule" "wall-clock" e.Lint_baseline.rule;
+      Alcotest.(check string) "reason" "bench" e.Lint_baseline.reason
+
+let suite =
+  [
+    Alcotest.test_case "hashtbl iter fires" `Quick hashtbl_iter_fires;
+    Alcotest.test_case "hashtbl fold fires" `Quick hashtbl_fold_fires;
+    Alcotest.test_case "Tbl sorted iteration is quiet" `Quick tbl_sorted_quiet;
+    Alcotest.test_case "Random outside Rng fires" `Quick random_fires;
+    Alcotest.test_case "Random inside Rng is quiet" `Quick random_inside_rng_quiet;
+    Alcotest.test_case "Unix.gettimeofday fires" `Quick wall_clock_fires;
+    Alcotest.test_case "Sys.time fires" `Quick sys_time_fires;
+    Alcotest.test_case "poly = on protocol operand fires" `Quick poly_eq_fires;
+    Alcotest.test_case "bare compare as value fires" `Quick poly_compare_value_fires;
+    Alcotest.test_case "typed comparator is quiet" `Quick poly_compare_fn_quiet;
+    Alcotest.test_case "Int.equal is quiet" `Quick int_equal_quiet;
+    Alcotest.test_case "dispatch wildcard fires" `Quick dispatch_wildcard_fires;
+    Alcotest.test_case "exhaustive dispatch is quiet" `Quick dispatch_exhaustive_quiet;
+    Alcotest.test_case "families cross files" `Quick cross_file_families;
+    Alcotest.test_case "lstate mutation fires" `Quick lstate_mutation_fires;
+    Alcotest.test_case "transition functions are quiet" `Quick lstate_transition_quiet;
+    Alcotest.test_case "missing mli fires" `Quick missing_mli_fires;
+    Alcotest.test_case "present mli is quiet" `Quick has_mli_quiet;
+    Alcotest.test_case "suppression honored" `Quick suppression_honored;
+    Alcotest.test_case "suppression is rule-specific" `Quick suppression_wrong_rule;
+    Alcotest.test_case "allow all" `Quick suppression_all;
+    Alcotest.test_case "suppression scope is one site" `Quick suppression_scope;
+    Alcotest.test_case "marker without rule names is inert" `Quick marker_without_rules_inert;
+    Alcotest.test_case "baseline masks exactly" `Quick baseline_masks_exactly;
+    Alcotest.test_case "baseline stale entries" `Quick baseline_stale_detected;
+    Alcotest.test_case "baseline entry masks one finding" `Quick baseline_one_entry_one_finding;
+    Alcotest.test_case "baseline json round trip" `Quick baseline_json_roundtrip;
+  ]
