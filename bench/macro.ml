@@ -89,6 +89,25 @@ let backlog_micro ~n_msgs ~reps =
 
 type config = { nodes : int; groups : int; rate_hz : int; sim_s : int }
 
+(* Step the cluster until an instant with no message in flight.  The
+   measured window must start and end at such instants, or messages on
+   the wire at a boundary leak across it and the window under-reports
+   [delivered] vs [sent] (the engine counts a send when it happens and a
+   delivery when the receiver's CPU dispatches it).  Periodic protocol
+   traffic (heartbeats, stability rounds) keeps the wire busy, so gaps
+   are found by sampling at short span boundaries rather than waiting
+   for full idleness, which never comes. *)
+let drain_in_flight cluster =
+  let engine = cluster.Cluster.engine in
+  let step = Time.us 100 in
+  let budget = ref 100_000 (* up to 10 simulated seconds *) in
+  while Engine.in_flight engine > 0 && !budget > 0 do
+    decr budget;
+    Cluster.run cluster step
+  done;
+  if Engine.in_flight engine > 0 then
+    failwith (Printf.sprintf "macro: %d messages still in flight after drain" (Engine.in_flight engine))
+
 let members_of_group ~nodes i =
   let size = min 4 nodes in
   List.init size (fun k -> (i + k) mod nodes)
@@ -103,6 +122,7 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
     gids;
   (* let views form before the measured window *)
   Cluster.run cluster (Time.sec 4);
+  drain_in_flight cluster;
   let period = Time.us (1_000_000 / rate_hz) in
   let senders_active = ref true in
   List.iteri
@@ -114,22 +134,28 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
           incr counter;
           if Hwg.is_member cluster.Cluster.hwgs.(sender) gid then
             Hwg.send cluster.Cluster.hwgs.(sender) gid (Bench !counter);
-          let (_ : Engine.cancel) = Engine.after engine period fire in
-          ()
+          Engine.after_ engine period fire
         end
       in
       (* stagger start so groups do not send in lock-step *)
-      let (_ : Engine.cancel) = Engine.after engine (Time.us (131 * i)) fire in
-      ())
+      Engine.after_ engine (Time.us (131 * i)) fire)
     gids;
   let before = Engine.stats engine in
+  let minor0 = Gc.minor_words () in
   let t0 = wall () in
   Cluster.run cluster (Time.sec sim_s);
-  let wall_s = wall () -. t0 in
+  (* close the window at an in-flight-free instant, with the senders
+     stopped, so every message sent inside it is also delivered inside
+     it and the fault-free invariant [sent = delivered] is checkable *)
   senders_active := false;
+  drain_in_flight cluster;
+  let wall_s = wall () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
   let after = Engine.stats engine in
   let sent = after.Engine.sent - before.Engine.sent in
   let delivered = after.Engine.delivered - before.Engine.delivered in
+  if sent <> delivered then
+    failwith (Printf.sprintf "macro: fault-free window lost messages: sent %d <> delivered %d" sent delivered);
   let peak_unacked =
     List.fold_left
       (fun acc node -> max acc (Transport.in_flight_peak (Transport.endpoint cluster.Cluster.transport node)))
@@ -143,8 +169,14 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
       0 gids
   in
   let msgs_per_wall_s = if wall_s > 0. then int_of_float (float_of_int delivered /. wall_s) else 0 in
-  Printf.printf "nodes=%-3d groups=%-4d rate=%dHz sim=%ds: wall %7.1f ms, %8d delivered (%9d msgs/wall-s), peak unacked %d, peak store %d\n%!"
-    nodes groups rate_hz sim_s (wall_s *. 1e3) delivered msgs_per_wall_s peak_unacked peak_store;
+  (* Minor-heap words allocated per delivered message over the measured
+     window: the scalar the zero-allocation data plane is graded on. *)
+  let allocs_per_msg =
+    if delivered > 0 then int_of_float ((minor_words /. float_of_int delivered) +. 0.5) else 0
+  in
+  Printf.printf
+    "nodes=%-3d groups=%-4d rate=%dHz sim=%ds: wall %7.1f ms, %8d delivered (%9d msgs/wall-s), %4d alloc w/msg, peak unacked %d, peak store %d\n%!"
+    nodes groups rate_hz sim_s (wall_s *. 1e3) delivered msgs_per_wall_s allocs_per_msg peak_unacked peak_store;
   Json.Obj
     [
       ("nodes", Json.Int nodes);
@@ -155,6 +187,7 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
       ("sent", Json.Int sent);
       ("delivered", Json.Int delivered);
       ("msgs_per_wall_s", Json.Int msgs_per_wall_s);
+      ("allocs_per_msg", Json.Int allocs_per_msg);
       ("peak_unacked", Json.Int peak_unacked);
       ("peak_store", Json.Int peak_store);
     ]
@@ -182,12 +215,18 @@ let () =
   let smoke = ref false in
   let out = ref "BENCH_results.json" in
   let seed = ref 7 in
+  let max_allocs = ref 0 in
   let spec =
     [
       ("--quick", Arg.Set quick, " reduced sweep (a few seconds)");
       ("--smoke", Arg.Set smoke, " one tiny config; used by the runtest wiring");
       ("--out", Arg.Set_string out, "FILE results file (default BENCH_results.json)");
       ("--seed", Arg.Set_int seed, "N simulation seed (default 7)");
+      ( "--max-allocs",
+        Arg.Set_int max_allocs,
+        "N fail (exit 1) if any sweep point allocates more than N minor words per delivered message; \
+         0 disables (default).  The runtest smoke passes a checked-in threshold so allocation \
+         regressions on the data plane fail the build." );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "macro [--quick|--smoke] [--out FILE]";
@@ -212,4 +251,20 @@ let () =
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "results written to %s\n" !out
+  Printf.printf "results written to %s\n" !out;
+  if !max_allocs > 0 then begin
+    let worst =
+      List.fold_left
+        (fun acc run ->
+          match run with
+          | Json.Obj fields -> (
+              match List.assoc_opt "allocs_per_msg" fields with Some (Json.Int a) -> max acc a | _ -> acc)
+          | _ -> acc)
+        0 runs
+    in
+    if worst > !max_allocs then begin
+      Printf.eprintf "allocs-per-msg regression: %d > threshold %d\n%!" worst !max_allocs;
+      exit 1
+    end
+    else Printf.printf "allocs-per-msg check: %d <= threshold %d\n%!" worst !max_allocs
+  end

@@ -13,13 +13,20 @@ type config = { period : Time.span; timeout : Time.span }
 
 let default_config = { period = Time.ms 100; timeout = Time.ms 350 }
 
+(* Reachability is tracked twice: [reach] (flat bool array) answers the
+   per-heartbeat membership probe and [status] in O(1) with no tree
+   walk, while [with_self] keeps the [Node_id.Set.t] clients consume.
+   The set is updated only on actual transitions (rare), so the hot
+   path — one heartbeat per peer per period, delivered to every node —
+   is two array stores and a branch. *)
 type t = {
   node : Node_id.t;
   engine : Engine.t;
   transport : Plwg_transport.Transport.t;
   config : config;
-  last_heard : (Node_id.t, Time.t) Hashtbl.t;
-  mutable reachable : Node_id.Set.t;
+  last_heard : Time.t array; (* per peer; negative = never heard *)
+  reach : bool array; (* per peer; self stays false *)
+  mutable with_self : Node_id.Set.t; (* reachable peers + self *)
   mutable subscribers : (Node_id.t -> status -> unit) list;
 }
 
@@ -32,49 +39,46 @@ let notify t peer status =
   List.iter (fun subscriber -> subscriber peer status) (List.rev t.subscribers)
 
 let mark_reachable t peer =
-  if (not (Node_id.equal peer t.node)) && not (Node_id.Set.mem peer t.reachable) then begin
-    t.reachable <- Node_id.Set.add peer t.reachable;
+  if (not (Node_id.equal peer t.node)) && not t.reach.(peer) then begin
+    t.reach.(peer) <- true;
+    t.with_self <- Node_id.Set.add peer t.with_self;
     notify t peer Reachable
   end
 
 let mark_unreachable t peer =
-  if Node_id.Set.mem peer t.reachable && not (Node_id.equal peer t.node) then begin
-    t.reachable <- Node_id.Set.remove peer t.reachable;
+  if t.reach.(peer) && not (Node_id.equal peer t.node) then begin
+    t.reach.(peer) <- false;
+    t.with_self <- Node_id.Set.remove peer t.with_self;
     notify t peer Unreachable
   end
 
 let sweep t =
   let now = Engine.now t.engine in
-  let stale =
-    Node_id.Set.filter
-      (fun peer ->
-        (not (Node_id.equal peer t.node))
-        &&
-        match Hashtbl.find_opt t.last_heard peer with
-        | Some heard -> Time.diff now heard > t.config.timeout
-        | None -> true)
-      t.reachable
-  in
-  Node_id.Set.iter (mark_unreachable t) stale
+  for peer = 0 to Array.length t.reach - 1 do
+    if t.reach.(peer) then begin
+      let heard = t.last_heard.(peer) in
+      if heard < 0 || Time.diff now heard > t.config.timeout then mark_unreachable t peer
+    end
+  done
 
-let rec tick t =
+let tick t =
   if Topology.is_alive (Engine.topology t.engine) t.node then begin
     Plwg_transport.Transport.broadcast_raw t.transport ~src:t.node (Heartbeat { from = t.node });
     sweep t
-  end;
-  let (_ : Engine.cancel) = Engine.after t.engine t.config.period (fun () -> tick t) in
-  ()
+  end
 
 let create ?(config = default_config) transport node =
   let engine = Plwg_transport.Transport.engine transport in
+  let n_nodes = Topology.n_nodes (Engine.topology engine) in
   let t =
     {
       node;
       engine;
       transport;
       config;
-      last_heard = Hashtbl.create 16;
-      reachable = Node_id.Set.empty;
+      last_heard = Array.make n_nodes (-1);
+      reach = Array.make n_nodes false;
+      with_self = Node_id.Set.singleton node;
       subscribers = [];
     }
   in
@@ -83,19 +87,24 @@ let create ?(config = default_config) transport node =
       match payload with
       | Heartbeat { from } ->
           if from = src then begin
-            Hashtbl.replace t.last_heard src (Engine.now engine);
+            t.last_heard.(src) <- Engine.now engine;
             mark_reachable t src
           end
       | _ -> ());
-  (* stagger first beats so all nodes do not fire on the same instant *)
+  (* stagger first beats so all nodes do not fire on the same instant.
+     One [loop] closure per detector; the loop is never cancelled. *)
   let stagger = Time.us (node * 137) in
-  let (_ : Engine.cancel) = Engine.after engine stagger (fun () -> tick t) in
+  let rec loop () =
+    tick t;
+    Engine.after_ engine t.config.period loop
+  in
+  Engine.after_ engine stagger loop;
   t
 
 let node t = t.node
 
-let status t peer = if Node_id.equal peer t.node || Node_id.Set.mem peer t.reachable then Reachable else Unreachable
+let status t peer = if Node_id.equal peer t.node || t.reach.(peer) then Reachable else Unreachable
 
-let reachable_set t = Node_id.Set.add t.node t.reachable
+let reachable_set t = t.with_self
 
 let on_change t subscriber = t.subscribers <- subscriber :: t.subscribers

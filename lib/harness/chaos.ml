@@ -235,9 +235,11 @@ let check_hwg_agreement stack =
           | (_, first) :: rest ->
               if not (List.for_all (fun (_, v) -> View_id.equal v.View.id first.View.id) rest) then
                 failures :=
+                  (* plwg-lint: allow gid-string-boundary — oracle failure text, cold path *)
                   Printf.sprintf "hwg %s: divergent views inside one component" (Gid.to_string gid) :: !failures
               else if not (List.equal Node_id.equal first.View.members (List.map fst holders)) then
                 failures :=
+                  (* plwg-lint: allow gid-string-boundary — oracle failure text, cold path *)
                   Printf.sprintf "hwg %s: view members [%s] <> holders [%s]" (Gid.to_string gid)
                     (String.concat "," (List.map string_of_int first.View.members))
                     (String.concat "," (List.map string_of_int (List.map fst holders)))
@@ -261,10 +263,12 @@ let check_naming stack =
       List.iter
         (fun lwg ->
           failures :=
+            (* plwg-lint: allow gid-string-boundary — oracle failure text, cold path *)
             Printf.sprintf "server %d: unresolved MULTIPLE-MAPPINGS for %s" (Server.node server) (Gid.to_string lwg)
             :: !failures)
         (Db.conflicts (Server.db server)))
     live_servers;
+  (* plwg-lint: allow gid-string-boundary — oracle-only comparison keys; interned, end-of-run *)
   let entry_key e = Printf.sprintf "%s@%s->%s" (Gid.to_string e.Db.lwg) (View_id.to_string e.Db.lwg_view) (Gid.to_string e.Db.hwg) in
   let live_entries server lwg = List.sort String.compare (List.map entry_key (Db.read (Server.db server) lwg)) in
   List.iter
@@ -281,6 +285,7 @@ let check_naming stack =
                 if not (List.equal String.equal (live_entries a lwg) (live_entries b lwg)) then
                   failures :=
                     Printf.sprintf "servers %d/%d: databases disagree on %s" (Server.node a) (Server.node b)
+                      (* plwg-lint: allow gid-string-boundary — oracle failure text, cold path *)
                       (Gid.to_string lwg)
                     :: !failures)
               lwgs)
@@ -302,6 +307,7 @@ let oracle stack ~lwgs ~entries ~trace_truncated =
     List.filter_map
       (fun lwg ->
         if Stack.lwg_converged stack lwg then None
+          (* plwg-lint: allow gid-string-boundary — oracle failure text, cold path *)
         else Some (Printf.sprintf "lwg %s not converged" (Gid.to_string lwg)))
       lwgs
   in

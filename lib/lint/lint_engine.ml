@@ -136,6 +136,25 @@ let wall_clock_paths = [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.
 let bare_compare_paths = [ "compare"; "Stdlib.compare" ]
 let protected_type_names = [ "lstate"; "lstatus"; "lflush" ]
 
+(* Applications whose arguments form the string/trace boundary: inside
+   them group and view ids may legitimately be rendered to strings
+   (the renders are interned, and trace/log thunks only run when the
+   respective sink is enabled).  Everything else in lib/ must keep ids
+   typed — the gid-string-boundary rule. *)
+let is_string_boundary_fn path =
+  String.starts_with ~prefix:"Logs." path
+  ||
+  match List.rev (String.split_on_char '.' path) with
+  | ("trace" | "register_printer") :: _ -> true
+  | _ -> false
+
+let gid_to_string_owner path =
+  match List.rev (String.split_on_char '.' path) with
+  | "to_string" :: (("Gid" | "View_id") as owner) :: _ -> Some owner
+  | _ -> None
+
+let under_lib path = match String.split_on_char '/' path with "lib" :: _ -> true | _ -> false
+
 let is_transition_attr (attr : attribute) =
   match attr.attr_name.txt with "transition" | "plwg.transition" -> true | _ -> false
 
@@ -234,7 +253,15 @@ let check_dispatch ctx loc cases =
       ctx.families
   end
 
-let check_ident ctx loc path ~applied =
+let check_ident ctx loc path ~applied ~in_string_boundary =
+  (match gid_to_string_owner path with
+  | Some owner when under_lib ctx.path && not in_string_boundary ->
+      add ctx Lint_rules.Gid_string_boundary loc
+        (Printf.sprintf
+           "%s.to_string outside the trace boundary; keep ids typed (%s.t or %s.code) and render only \
+            inside Engine.trace thunks, Logs or Payload.register_printer"
+           owner owner owner)
+  | _ -> ());
   if List.mem path hashtbl_iter_paths then
     add ctx Lint_rules.Hashtbl_iter_order loc
       (Printf.sprintf "%s visits bindings in unspecified order; use Plwg_util.Tbl with an explicit comparator" path)
@@ -270,6 +297,7 @@ let lint_ast ctx structure =
       inherit Ast_traverse.iter as super
       val mutable fn_pos = false
       val mutable in_transition = false
+      val mutable in_string_boundary = false
 
       method! value_binding vb =
         let saved = in_transition in
@@ -281,7 +309,7 @@ let lint_ast ctx structure =
         let was_fn = fn_pos in
         fn_pos <- false;
         match e.pexp_desc with
-        | Pexp_ident lid -> check_ident ctx e.pexp_loc (longident_name lid.txt) ~applied:was_fn
+        | Pexp_ident lid -> check_ident ctx e.pexp_loc (longident_name lid.txt) ~applied:was_fn ~in_string_boundary
         | Pexp_apply (fn, args) ->
             (match (fn.pexp_desc, args) with
             | Pexp_ident lid, [ (_, a); (_, b) ] -> (
@@ -293,7 +321,12 @@ let lint_ast ctx structure =
             fn_pos <- true;
             self#expression fn;
             fn_pos <- false;
-            List.iter (fun (_, arg) -> self#expression arg) args
+            let saved_boundary = in_string_boundary in
+            (match fn.pexp_desc with
+            | Pexp_ident lid when is_string_boundary_fn (longident_name lid.txt) -> in_string_boundary <- true
+            | _ -> ());
+            List.iter (fun (_, arg) -> self#expression arg) args;
+            in_string_boundary <- saved_boundary
         | Pexp_match (_, cases) ->
             check_dispatch ctx e.pexp_loc cases;
             super#expression e
@@ -369,8 +402,7 @@ let ml_files_under roots =
 
 (* .mli interfaces are required for library code (everything under a
    root named lib), not for executables and benchmarks. *)
-let requires_mli path =
-  match String.split_on_char '/' path with "lib" :: _ -> true | _ -> false
+let requires_mli path = under_lib path
 
 let run ~roots =
   match

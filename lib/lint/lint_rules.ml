@@ -18,6 +18,7 @@ type id =
   | Dispatch_wildcard
   | Lstate_mutation
   | Missing_mli
+  | Gid_string_boundary
 
 type severity = Warning | Error
 
@@ -39,6 +40,7 @@ let all =
     Dispatch_wildcard;
     Lstate_mutation;
     Missing_mli;
+    Gid_string_boundary;
   ]
 
 let name = function
@@ -49,6 +51,7 @@ let name = function
   | Dispatch_wildcard -> "dispatch-wildcard"
   | Lstate_mutation -> "lstate-mutation"
   | Missing_mli -> "missing-mli"
+  | Gid_string_boundary -> "gid-string-boundary"
 
 let of_name n = List.find_opt (fun rule -> String.equal (name rule) n) all
 
@@ -71,6 +74,10 @@ let describe = function
   | Lstate_mutation ->
       "LWG lstate/lstatus/lflush fields may only be mutated inside functions marked [@@transition]"
   | Missing_mli -> "every module under lib/ must ship an .mli interface"
+  | Gid_string_boundary ->
+      "group/view ids in lib/ must stay typed (Gid.t/View_id.t or their int codes); render with \
+       to_string only inside trace boundaries (Engine.trace thunks, Logs, Payload.register_printer) \
+       or under an audited suppression"
 
 let compare_finding a b =
   let by =

@@ -9,6 +9,9 @@ type id =
   | Dispatch_wildcard  (** catch-all dispatch missing declared message constructors *)
   | Lstate_mutation  (** lstate field mutated outside a [\@\@transition] function *)
   | Missing_mli  (** lib/ module without an interface *)
+  | Gid_string_boundary
+      (** [Gid.to_string]/[View_id.to_string] in lib/ code outside the
+          trace boundary (Engine.trace thunks, Logs, Payload printers) *)
 
 type severity = Warning | Error
 

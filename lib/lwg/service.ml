@@ -91,12 +91,14 @@ type lstate = {
          transitions (see [compute_merges]). *)
 }
 
+module Imap = Map.Make (Int)
+
 type hstate = {
   hgid : Gid.t;
   mutable hview : View.t option;
   mutable all_views : (Gid.t * View.t * lineage) list Node_id.Map.t;
   mutable sent_all_views : bool;
-  mutable forwards : Gid.t Gid.Map.t;
+  mutable forwards : Gid.t Imap.t; (* keyed by Gid.code of the moved LWG *)
   mutable empty_since : Time.t option;
 }
 
@@ -109,9 +111,9 @@ type t = {
   recorder : (Time.t -> Hwg.event -> unit) option;
   ns : Client.t option;
   hwg : Hwg.t;
-  lstates : (Gid.t, lstate) Hashtbl.t;
-  hstates : (Gid.t, hstate) Hashtbl.t;
-  lseq_floor : (Gid.t, int) Hashtbl.t; (* highest LWG view seq seen, across incarnations *)
+  lstates : (int, lstate) Hashtbl.t; (* keyed by Gid.code *)
+  hstates : (int, hstate) Hashtbl.t; (* keyed by Gid.code *)
+  lseq_floor : (int, int) Hashtbl.t; (* highest LWG view seq seen per Gid.code, across incarnations *)
   mutable state_callbacks : state_callbacks option;
   mutable lwg_gid_counter : int;
   mutable switches : int;
@@ -126,10 +128,11 @@ let merge_count t = t.merges
 
 let record t event = match t.recorder with Some r -> r (Engine.now t.engine) event | None -> ()
 
-let lstate_of t lwg = Hashtbl.find_opt t.lstates lwg
+let lstate_of t lwg = Hashtbl.find_opt t.lstates (Gid.code lwg)
 
 let hstate_of t hgid =
-  match Hashtbl.find_opt t.hstates hgid with
+  let key = Gid.code hgid in
+  match Hashtbl.find_opt t.hstates key with
   | Some h -> h
   | None ->
       let h =
@@ -138,11 +141,11 @@ let hstate_of t hgid =
           hview = None;
           all_views = Node_id.Map.empty;
           sent_all_views = false;
-          forwards = Gid.Map.empty;
+          forwards = Imap.empty;
           empty_since = None;
         }
       in
-      Hashtbl.replace t.hstates hgid h;
+      Hashtbl.replace t.hstates key h;
       h
 
 let fresh_gid t =
@@ -240,10 +243,11 @@ let[@transition] drain_outbox t (l : lstate) =
 (* ------------------------------------------------------------------ *)
 
 let note_lseq t lwg seq =
-  let floor = try Hashtbl.find t.lseq_floor lwg with Not_found -> 0 in
-  if seq > floor then Hashtbl.replace t.lseq_floor lwg seq
+  let key = Gid.code lwg in
+  let floor = try Hashtbl.find t.lseq_floor key with Not_found -> 0 in
+  if seq > floor then Hashtbl.replace t.lseq_floor key seq
 
-let lseq_floor_of t lwg = try Hashtbl.find t.lseq_floor lwg with Not_found -> 0
+let lseq_floor_of t lwg = try Hashtbl.find t.lseq_floor (Gid.code lwg) with Not_found -> 0
 
 let[@transition] install_lview t (l : lstate) view =
   note_lseq t l.lwg view.View.id.View_id.seq;
@@ -289,7 +293,7 @@ let remove_lstate t (l : lstate) ~installed =
   Logs.debug (fun m -> m "n%d remove_lstate %s installed=%b" t.node (Gid.to_string l.lwg) installed);
   end_lflush t l ~outcome:"left";
   if installed then record t (Hwg.Left { node = t.node; group = l.lwg });
-  Hashtbl.remove t.lstates l.lwg
+  Hashtbl.remove t.lstates (Gid.code l.lwg)
 
 let[@transition] check_migration t (l : lstate) =
   match (l.status, l.view, l.hwg) with
@@ -426,7 +430,7 @@ let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
       (match switch_to with
       | Some h2 ->
           let hs = hstate_of t carrier in
-          hs.forwards <- Gid.Map.add lwg h2 hs.forwards
+          hs.forwards <- Imap.add (Gid.code lwg) h2 hs.forwards
       | None -> ());
       (* a join request of ours may have been absorbed after we already
          abandoned the group: ask to be flushed back out, or we linger
@@ -441,7 +445,7 @@ let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
       (match switch_to with
       | Some h2 when not am_new ->
           let hs = hstate_of t carrier in
-          hs.forwards <- Gid.Map.add lwg h2 hs.forwards
+          hs.forwards <- Imap.add (Gid.code lwg) h2 hs.forwards
       | Some _ | None -> ());
       if epoch >= l.epoch then l.epoch <- epoch;
       match (am_new, was_old) with
@@ -512,7 +516,9 @@ let[@transition] handle_ldata t ~carrier ~src ~lwg ~lview ~seq ~local ~vc ~body 
 (* ------------------------------------------------------------------ *)
 
 let my_views_on t carrier =
-  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
+  (* Gid.code order = Gid.compare order, so all sorted iterations below
+     are unchanged by the int keying *)
+  Plwg_util.Tbl.fold_sorted ~cmp:Int.compare
     (fun _ (l : lstate) acc ->
       match (l.hwg, l.view, l.status) with
       | Some h, Some view, (L_normal | L_stopped) when Gid.equal h carrier -> (l.lwg, view, l.lineage) :: acc
@@ -583,17 +589,19 @@ let[@transition] compute_merges t hs hview =
      abandoned; the lineage latch in [handle_hwg_view] reopens it. *)
   if not (Node_id.Set.for_all (fun n -> Node_id.Map.mem n hs.all_views) present) then ()
   else begin
-  let by_lwg : (Gid.t, (Node_id.t * View.t * lineage) list) Hashtbl.t = Hashtbl.create 8 in
+  let by_lwg : (int, (Node_id.t * View.t * lineage) list) Hashtbl.t = Hashtbl.create 8 in
   Node_id.Map.iter
     (fun from views ->
       List.iter
         (fun (lwg, view, lin) ->
-          let known = try Hashtbl.find by_lwg lwg with Not_found -> [] in
-          Hashtbl.replace by_lwg lwg ((from, view, lin) :: known))
+          let key = Gid.code lwg in
+          let known = try Hashtbl.find by_lwg key with Not_found -> [] in
+          Hashtbl.replace by_lwg key ((from, view, lin) :: known))
         views)
     hs.all_views;
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
-    (fun lwg contribs ->
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
+    (fun lwg_code contribs ->
+      let lwg = Gid.of_code lwg_code in
       let views =
         List.fold_left
           (fun acc (_, v, _) ->
@@ -750,7 +758,7 @@ let[@transition] handle_hwg_view t hgid hview =
   in
   hs.hview <- Some hview;
   if not mainline then
-    Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+    Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
       (fun _ (l : lstate) ->
         match (l.hwg, l.view, l.lineage) with
         | Some h, Some _, L_continuous when Gid.equal h hgid ->
@@ -765,7 +773,7 @@ let[@transition] handle_hwg_view t hgid hview =
         | _, _, _ -> ())
       t.lstates;
   (* joiners waiting for HWG membership can announce now *)
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) ->
       match (l.status, l.hwg) with
       | Joining_hwg, Some h when Gid.equal h hgid && View.mem t.node hview ->
@@ -796,7 +804,7 @@ let[@transition] handle_hwg_view t hgid hview =
      above already reconciled are back to [L_continuous] and do not
      retrigger. *)
   if
-    Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
+    Plwg_util.Tbl.fold_sorted ~cmp:Int.compare
       (fun _ (l : lstate) acc ->
         acc
         ||
@@ -806,7 +814,7 @@ let[@transition] handle_hwg_view t hgid hview =
       t.lstates false
   then request_merge t hgid;
   (* deterministic shrink of LWG views that lost HWG members *)
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) ->
       match l.hwg with
       | Some h when Gid.equal h hgid ->
@@ -816,7 +824,7 @@ let[@transition] handle_hwg_view t hgid hview =
       | Some _ | None -> ())
     t.lstates;
   (* migrations waiting for this HWG *)
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) ->
       match (l.status, l.hwg) with
       | Migrating, Some h when Gid.equal h hgid -> check_migration t l
@@ -842,7 +850,7 @@ let[@transition] handle_join_req t ~carrier ~lwg ~joiner =
   | None -> (
       (* forward pointer: the group moved away from this HWG *)
       let hs = hstate_of t carrier in
-      match Gid.Map.find_opt lwg hs.forwards with
+      match Imap.find_opt (Gid.code lwg) hs.forwards with
       | Some h2 when (match hs.hview with Some hv -> Node_id.equal (View.coordinator hv) t.node | None -> false) ->
           multicast_h t carrier (L_forward { lwg; to_hwg = h2 })
       | Some _ | None -> ())
@@ -913,8 +921,8 @@ let best_entry entries =
    belongs to; otherwise mint a fresh HWG. *)
 let initial_hwg t =
   let mine =
-    Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
-      (fun hgid hs acc -> match hs.hview with Some hv when View.mem t.node hv -> hgid :: acc | _ -> acc)
+    Plwg_util.Tbl.fold_sorted ~cmp:Int.compare
+      (fun _ hs acc -> match hs.hview with Some hv when View.mem t.node hv -> hs.hgid :: acc | _ -> acc)
       t.hstates []
   in
   match List.sort Gid.compare mine with
@@ -982,23 +990,23 @@ let handle_multiple_mappings t lwg entries =
 (* ------------------------------------------------------------------ *)
 
 let lwgs_mapped_on t hgid =
-  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare (fun _ (l : lstate) acc -> if Option.equal Gid.equal l.hwg (Some hgid) then acc + 1 else acc) t.lstates 0
+  Plwg_util.Tbl.fold_sorted ~cmp:Int.compare (fun _ (l : lstate) acc -> if Option.equal Gid.equal l.hwg (Some hgid) then acc + 1 else acc) t.lstates 0
 
 let run_policies_now t =
   match t.mode with
   | Direct | Static _ -> ()
   | Dynamic ->
       let candidates =
-        Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
-          (fun hgid hs acc ->
+        Plwg_util.Tbl.fold_sorted ~cmp:Int.compare
+          (fun _ hs acc ->
             match hs.hview with
-            | Some hv when View.mem t.node hv && Hwg.is_member t.hwg hgid ->
-                (hgid, View.members_set hv) :: acc
+            | Some hv when View.mem t.node hv && Hwg.is_member t.hwg hs.hgid ->
+                (hs.hgid, View.members_set hv) :: acc
             | _ -> acc)
           t.hstates []
       in
       (* interference rule, per LWG I coordinate *)
-      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+      Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
         (fun _ (l : lstate) ->
           match (l.status, l.view, l.hwg) with
           | L_normal, Some view, Some hgid when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush -> (
@@ -1056,7 +1064,7 @@ let run_policies_now t =
                       subject = Gid.to_string loser;
                       decision = "collapse-into " ^ Gid.to_string winner;
                     });
-              Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+              Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
                 (fun _ (l : lstate) ->
                   match (l.status, l.view, l.hwg) with
                   | L_normal, Some view, Some h
@@ -1068,8 +1076,9 @@ let run_policies_now t =
       (* shrink rule, per HWG *)
       let now = Engine.now t.engine in
       let to_leave = ref [] in
-      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
-        (fun hgid hs ->
+      Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
+        (fun _ hs ->
+          let hgid = hs.hgid in
           if Hwg.is_member t.hwg hgid then
             match Policy.shrink_decision ~member_of_hwg:true ~lwgs_mapped_here:(lwgs_mapped_on t hgid) with
             | `Stay -> hs.empty_since <- None
@@ -1086,7 +1095,7 @@ let run_policies_now t =
               Plwg_obs.Event.Policy_decision
                 { node = t.node; rule = "shrink"; subject = Gid.to_string hgid; decision = "leave-hwg" });
           Hwg.leave t.hwg hgid;
-          Hashtbl.remove t.hstates hgid)
+          Hashtbl.remove t.hstates (Gid.code hgid))
         !to_leave
 
 (* ------------------------------------------------------------------ *)
@@ -1097,7 +1106,7 @@ let state_grace = Time.sec 2
 
 let[@transition] tick t =
   let now = Engine.now t.engine in
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) ->
       (* best-effort state transfer: don't hold deliveries forever if the
          coordinator died before shipping the state *)
@@ -1171,12 +1180,12 @@ let[@transition] tick t =
     t.lstates
 
 let gossip t =
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
-    (fun hgid _ ->
-      if Hwg.is_member t.hwg hgid then
-        match my_plain_views_on t hgid with
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
+    (fun _ hs ->
+      if Hwg.is_member t.hwg hs.hgid then
+        match my_plain_views_on t hs.hgid with
         | [] -> ()
-        | views -> multicast_h t hgid (L_gossip { views }))
+        | views -> multicast_h t hs.hgid (L_gossip { views }))
     t.hstates
 
 (* ------------------------------------------------------------------ *)
@@ -1214,7 +1223,7 @@ let join ?(ordering = Fifo) t lwg =
               lineage = L_continuous;
             }
           in
-          Hashtbl.replace t.lstates lwg l;
+          Hashtbl.replace t.lstates (Gid.code lwg) l;
           resolve_mapping t l)
 
 let[@transition] leave t lwg =
@@ -1258,7 +1267,7 @@ let lwgs t =
   match t.mode with
   | Direct -> Hwg.groups t.hwg
   | Static _ | Dynamic ->
-      Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare (fun lwg l acc -> if Option.is_some l.view then lwg :: acc else acc) t.lstates []
+      Plwg_util.Tbl.fold_sorted ~cmp:Int.compare (fun _ l acc -> if Option.is_some l.view then l.lwg :: acc else acc) t.lstates []
       |> List.sort Gid.compare
 
 let enable_state_transfer t callbacks =
@@ -1311,7 +1320,7 @@ let handle_hwg_data t ~carrier ~src payload =
 (* Crash recovery severs every held view's carrier lineage (see
    [shrink_check]): a frozen local view must not mint successor ids. *)
 let[@transition] mark_lineage_rejoined t node =
-  Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) -> if Option.is_some l.view then l.lineage <- L_rejoined node)
     t.lstates
 
@@ -1373,27 +1382,21 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
       Engine.on_recover engine node (fun () -> mark_lineage_rejoined t node);
       let rec tick_loop () =
         if Topology.is_alive (Engine.topology engine) node then tick t;
-        let (_ : Engine.cancel) = Engine.after engine (Time.ms 150) tick_loop in
-        ()
+        Engine.after_ engine (Time.ms 150) tick_loop
       in
       let rec gossip_loop () =
         if Topology.is_alive (Engine.topology engine) node then gossip t;
-        let (_ : Engine.cancel) = Engine.after engine config.gossip_period gossip_loop in
-        ()
+        Engine.after_ engine config.gossip_period gossip_loop
       in
       let rec policy_loop () =
         if Topology.is_alive (Engine.topology engine) node then run_policies_now t;
-        let (_ : Engine.cancel) = Engine.after engine config.policy_period policy_loop in
-        ()
+        Engine.after_ engine config.policy_period policy_loop
       in
       let jitter period salt = Time.us (((node * 7919) + salt) mod period) in
-      let (_ : Engine.cancel) = Engine.after engine (jitter (Time.ms 150) 13) tick_loop in
-      let (_ : Engine.cancel) = Engine.after engine (jitter config.gossip_period 101) gossip_loop in
+      Engine.after_ engine (jitter (Time.ms 150) 13) tick_loop;
+      Engine.after_ engine (jitter config.gossip_period 101) gossip_loop;
       (* the first policy run waits one full period: evaluating the
          Figure 1 rules while groups are still forming causes exactly
          the switch cascades the paper's slow period is meant to avoid *)
-      let (_ : Engine.cancel) =
-        Engine.after engine (config.policy_period + jitter config.policy_period 977) policy_loop
-      in
-      ());
+      Engine.after_ engine (config.policy_period + jitter config.policy_period 977) policy_loop);
   t

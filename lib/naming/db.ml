@@ -14,28 +14,32 @@ let pp_entry ppf e =
     Gid.pp e.hwg
     (match e.hwg_view with Some v -> Format.asprintf ":%a" View_id.pp v | None -> "")
 
+(* Maps are keyed by [Gid.code]: int keys compare without allocation and
+   their order equals [Gid.compare] order, so listings are unchanged. *)
+module Imap = Map.Make (Int)
+
 type t = {
-  mutable entries : entry list Gid.Map.t; (* lwg -> live entries *)
-  mutable superseded : View_id.Set.t Gid.Map.t;
+  mutable entries : entry list Imap.t; (* Gid.code of lwg -> live entries *)
+  mutable superseded : View_id.Set.t Imap.t;
 }
 
-let create () = { entries = Gid.Map.empty; superseded = Gid.Map.empty }
+let create () = { entries = Imap.empty; superseded = Imap.empty }
 
 let superseded_of t lwg =
-  match Gid.Map.find_opt lwg t.superseded with Some s -> s | None -> View_id.Set.empty
+  match Imap.find_opt (Gid.code lwg) t.superseded with Some s -> s | None -> View_id.Set.empty
 
 let live_of t lwg =
   let dead = superseded_of t lwg in
-  let all = match Gid.Map.find_opt lwg t.entries with Some es -> es | None -> [] in
+  let all = match Imap.find_opt (Gid.code lwg) t.entries with Some es -> es | None -> [] in
   List.filter (fun e -> not (View_id.Set.mem e.lwg_view dead)) all
 
 let retire t lwg views =
   if not (List.is_empty views) then begin
     let dead = List.fold_left (fun acc v -> View_id.Set.add v acc) (superseded_of t lwg) views in
-    t.superseded <- Gid.Map.add lwg dead t.superseded;
+    t.superseded <- Imap.add (Gid.code lwg) dead t.superseded;
     (* drop retired entries eagerly; the superseded set remembers them *)
     let keep entries = List.filter (fun e -> not (View_id.Set.mem e.lwg_view dead)) entries in
-    t.entries <- Gid.Map.update lwg (Option.map keep) t.entries
+    t.entries <- Imap.update (Gid.code lwg) (Option.map keep) t.entries
   end
 
 (* Two replicas can transiently hold different mappings for the same
@@ -52,7 +56,7 @@ let entry_order a b =
 
 let insert ~resolve t entry =
   if not (View_id.Set.mem entry.lwg_view (superseded_of t entry.lwg)) then begin
-    let current = match Gid.Map.find_opt entry.lwg t.entries with Some es -> es | None -> [] in
+    let current = match Imap.find_opt (Gid.code entry.lwg) t.entries with Some es -> es | None -> [] in
     let entry =
       if resolve then
         match List.find_opt (fun e -> View_id.equal e.lwg_view entry.lwg_view) current with
@@ -61,7 +65,7 @@ let insert ~resolve t entry =
       else entry
     in
     let others = List.filter (fun e -> not (View_id.equal e.lwg_view entry.lwg_view)) current in
-    t.entries <- Gid.Map.add entry.lwg (entry :: others) t.entries
+    t.entries <- Imap.add (Gid.code entry.lwg) (entry :: others) t.entries
   end
 
 let set t entry =
@@ -89,12 +93,12 @@ let merge t other =
   let before_entries = t.entries and before_superseded = t.superseded in
   (* union of superseded knowledge first, so dead entries never revive *)
   t.superseded <-
-    Gid.Map.union (fun _ a b -> Some (View_id.Set.union a b)) t.superseded other.superseded;
-  Gid.Map.iter (fun _ entries -> List.iter (fun e -> insert ~resolve:true t e) entries) other.entries;
+    Imap.union (fun _ a b -> Some (View_id.Set.union a b)) t.superseded other.superseded;
+  Imap.iter (fun _ entries -> List.iter (fun e -> insert ~resolve:true t e) entries) other.entries;
   (* re-apply GC with the merged superseded sets *)
-  Gid.Map.iter (fun lwg dead -> retire t lwg (View_id.Set.elements dead)) t.superseded;
-  not (Gid.Map.equal (List.equal entry_equal) before_entries t.entries)
-  || not (Gid.Map.equal View_id.Set.equal before_superseded t.superseded)
+  Imap.iter (fun code dead -> retire t (Gid.of_code code) (View_id.Set.elements dead)) t.superseded;
+  not (Imap.equal (List.equal entry_equal) before_entries t.entries)
+  || not (Imap.equal View_id.Set.equal before_superseded t.superseded)
 
 let conflicting t lwg =
   match read t lwg with
@@ -102,7 +106,11 @@ let conflicting t lwg =
   | first :: rest -> List.exists (fun e -> not (Gid.equal e.hwg first.hwg)) rest
 
 let lwgs t =
-  Gid.Map.fold (fun lwg _ acc -> if not (List.is_empty (live_of t lwg)) then lwg :: acc else acc) t.entries []
+  Imap.fold
+    (fun code _ acc ->
+      let lwg = Gid.of_code code in
+      if not (List.is_empty (live_of t lwg)) then lwg :: acc else acc)
+    t.entries []
   |> List.sort Gid.compare
 
 let conflicts t = List.filter (conflicting t) (lwgs t)
@@ -111,7 +119,7 @@ let is_superseded t ~lwg view_id = View_id.Set.mem view_id (superseded_of t lwg)
 
 let snapshot t = { entries = t.entries; superseded = t.superseded }
 
-let size t = Gid.Map.fold (fun lwg _ acc -> acc + List.length (live_of t lwg)) t.entries 0
+let size t = Imap.fold (fun code _ acc -> acc + List.length (live_of t (Gid.of_code code))) t.entries 0
 
 let pp ppf t =
   List.iter

@@ -1,17 +1,64 @@
-type event = { time : Time.t; seq : int; action : unit -> unit }
+(* The event queue is a hierarchical timing wheel keyed on sim-time
+   ticks (see [Plwg_util.Wheel]): O(1) schedule/pop near the horizon,
+   with pop order identical to the old binary heap's [(time, seq)]
+   order — the wheel pops ticks nondecreasing and same-tick events in
+   schedule-call order, so traces are byte-identical across the swap.
+
+   The message path is allocation-free in steady state: message events
+   are flat mutable records drawn from a freelist instead of per-message
+   closures, and the wheel pools its own nodes.  Only timers still
+   carry closures (their guard/action), plus a small handle record so
+   they can be cancelled through the wheel's generation-checked
+   [cancel] — a cancelled timer is structurally incapable of firing,
+   and a stale cancel after the slot was reused is a no-op. *)
 
 type cancel = unit -> unit
 
 type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
 
+(* Pooled event records.  [Ev_free] marks a record sitting in the
+   freelist; its payload is poisoned so released messages are never
+   observable through a stale reference. *)
+type ev_kind = Ev_free | Ev_arrive | Ev_cpu | Ev_timer | Ev_timer_node
+
+type Payload.t += Poison_released
+
+type ev = {
+  mutable k : ev_kind;
+  mutable e_src : Node_id.t;
+  mutable e_dst : Node_id.t;
+  mutable e_sent_at : Time.t;
+  mutable e_payload : Payload.t;
+  mutable e_guard : unit -> bool;
+  mutable e_action : unit -> unit;
+  mutable e_next : ev; (* freelist link, [ev_nil]-terminated *)
+}
+
+let guard_none () = false
+let guard_true () = true
+let action_none () = ()
+
+let rec ev_nil =
+  {
+    k = Ev_free;
+    e_src = 0;
+    e_dst = 0;
+    e_sent_at = Time.zero;
+    e_payload = Poison_released;
+    e_guard = guard_none;
+    e_action = action_none;
+    e_next = ev_nil;
+  }
+
 type t = {
   topology : Topology.t;
   mutable model : Model.t;
   rng : Plwg_util.Rng.t;
-  queue : event Plwg_util.Heap.t;
+  queue : ev Plwg_util.Wheel.t;
   obs : Plwg_obs.t option;
+  observing : bool; (* [obs <> None], hoisted so hot paths skip thunk allocation *)
   mutable now : Time.t;
-  mutable next_seq : int;
+  mutable free_ev : ev;
   (* Handlers are registered newest-first into [handlers]; [dispatch]
      freezes each node's list into [frozen] (subscription order) the
      first time it fires after a registration, so steady-state delivery
@@ -30,21 +77,23 @@ type t = {
   mutable delivered : int;
   mutable wire_dropped : int;
   mutable unreachable_dropped : int;
+  (* Messages accepted onto the wire or a CPU queue and not yet
+     delivered or dropped.  Fault-free, [sent = delivered + in_flight]
+     at all times, so a drained engine satisfies [sent = delivered] —
+     the invariant the macro bench asserts. *)
+  mutable in_flight : int;
 }
-
-let compare_event a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?obs ?(model = Model.default) ~seed ~n_nodes () =
   {
     topology = Topology.create ~n_nodes;
     model;
     rng = Plwg_util.Rng.create ~seed;
-    queue = Plwg_util.Heap.create ~cmp:compare_event;
+    queue = Plwg_util.Wheel.create ~dummy:ev_nil ();
     obs;
+    observing = (match obs with None -> false | Some _ -> true);
     now = Time.zero;
-    next_seq = 0;
+    free_ev = ev_nil;
     handlers = Array.make n_nodes [];
     frozen = Array.make n_nodes [||];
     handlers_dirty = Array.make n_nodes false;
@@ -54,6 +103,7 @@ let create ?obs ?(model = Model.default) ~seed ~n_nodes () =
     delivered = 0;
     wire_dropped = 0;
     unreachable_dropped = 0;
+    in_flight = 0;
   }
 
 let topology t = t.topology
@@ -63,15 +113,39 @@ let rng t = t.rng
 let obs t = t.obs
 
 (* Instrumentation entry points.  The event is built inside a thunk so
-   that when no sink is attached nothing is allocated or rendered. *)
+   that when no sink is attached nothing is allocated or rendered; hot
+   paths additionally pre-check [t.observing] so even the thunk closure
+   is not allocated on a bare engine. *)
 let trace t make = match t.obs with None -> () | Some o -> Plwg_obs.Sink.emit o.Plwg_obs.sink ~at_us:t.now (make ())
 let count ?by t name = match t.obs with None -> () | Some o -> Plwg_obs.Metrics.incr ?by o.Plwg_obs.metrics name
 let observe t name v = match t.obs with None -> () | Some o -> Plwg_obs.Metrics.observe o.Plwg_obs.metrics name v
 
-let schedule t time action =
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  Plwg_util.Heap.push t.queue { time; seq; action }
+let alloc_ev t =
+  let ev = t.free_ev in
+  if ev != ev_nil then begin
+    t.free_ev <- ev.e_next;
+    ev.e_next <- ev_nil;
+    ev
+  end
+  else
+    {
+      k = Ev_free;
+      e_src = 0;
+      e_dst = 0;
+      e_sent_at = Time.zero;
+      e_payload = Poison_released;
+      e_guard = guard_none;
+      e_action = action_none;
+      e_next = ev_nil;
+    }
+
+let release_ev t ev =
+  ev.k <- Ev_free;
+  ev.e_payload <- Poison_released;
+  ev.e_guard <- guard_none;
+  ev.e_action <- action_none;
+  ev.e_next <- t.free_ev;
+  t.free_ev <- ev
 
 let subscribe t node handler =
   t.handlers.(node) <- handler :: t.handlers.(node);
@@ -80,11 +154,13 @@ let subscribe t node handler =
 let dispatch t ~sent_at ~src ~dst payload =
   if Topology.is_alive t.topology dst then begin
     t.delivered <- t.delivered + 1;
-    count t "engine.delivered";
-    trace t (fun () ->
-        Plwg_obs.Event.Msg_delivered
-          { src; dst; kind = Payload.to_string payload; latency_us = Time.diff t.now sent_at });
-    observe t "engine.delivery_latency_us" (float_of_int (Time.diff t.now sent_at));
+    if t.observing then begin
+      count t "engine.delivered";
+      trace t (fun () ->
+          Plwg_obs.Event.Msg_delivered
+            { src; dst; kind = Payload.to_string payload; latency_us = Time.diff t.now sent_at });
+      observe t "engine.delivery_latency_us" (float_of_int (Time.diff t.now sent_at))
+    end;
     if t.handlers_dirty.(dst) then begin
       t.frozen.(dst) <- Array.of_list (List.rev t.handlers.(dst));
       t.handlers_dirty.(dst) <- false
@@ -101,7 +177,13 @@ let enqueue_cpu t ~sent_at ~src ~dst payload =
   let start = max t.now t.busy_until.(dst) in
   let finish = Time.add start t.model.Model.proc_time in
   t.busy_until.(dst) <- finish;
-  schedule t finish (fun () -> dispatch t ~sent_at ~src ~dst payload)
+  let ev = alloc_ev t in
+  ev.k <- Ev_cpu;
+  ev.e_src <- src;
+  ev.e_dst <- dst;
+  ev.e_sent_at <- sent_at;
+  ev.e_payload <- payload;
+  Plwg_util.Wheel.schedule t.queue ~tick:finish ev
 
 (* Per-reason drop metric names, interned once: [drop] sits on the
    partition fast path and must not build strings when no observer is
@@ -111,15 +193,20 @@ let metric_dropped_wire = "engine.dropped.wire"
 let metric_dropped_cut = "engine.dropped.cut"
 
 let drop t ~src ~dst ~reason ~metric payload =
-  trace t (fun () -> Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason });
-  count t metric
+  if t.observing then begin
+    trace t (fun () -> Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason });
+    count t metric
+  end
 
 let send t ~src ~dst payload =
   if Topology.is_alive t.topology src then
     if src = dst then begin
       t.sent <- t.sent + 1;
-      count t "engine.sent";
-      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+      t.in_flight <- t.in_flight + 1;
+      if t.observing then begin
+        count t "engine.sent";
+        trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload })
+      end;
       enqueue_cpu t ~sent_at:t.now ~src ~dst payload
     end
     else if not (Topology.reachable t.topology src dst) then begin
@@ -129,41 +216,70 @@ let send t ~src ~dst payload =
     else if t.model.Model.drop_prob > 0.0 && Plwg_util.Rng.bernoulli t.rng t.model.Model.drop_prob then begin
       t.sent <- t.sent + 1;
       t.wire_dropped <- t.wire_dropped + 1;
-      count t "engine.sent";
-      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+      if t.observing then begin
+        count t "engine.sent";
+        trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload })
+      end;
       drop t ~src ~dst ~reason:"wire" ~metric:metric_dropped_wire payload
     end
     else begin
       t.sent <- t.sent + 1;
-      count t "engine.sent";
-      trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+      t.in_flight <- t.in_flight + 1;
+      if t.observing then begin
+        count t "engine.sent";
+        trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload })
+      end;
       let jitter =
         if t.model.Model.link_jitter = 0 then 0 else Plwg_util.Rng.int t.rng (t.model.Model.link_jitter + 1)
       in
-      let sent_at = t.now in
       let arrival = Time.add t.now (t.model.Model.link_base + jitter) in
-      let deliver () =
-        (* A partition installed while the message was in flight cuts it. *)
-        if Topology.reachable t.topology src dst then enqueue_cpu t ~sent_at ~src ~dst payload
-        else begin
-          t.unreachable_dropped <- t.unreachable_dropped + 1;
-          drop t ~src ~dst ~reason:"cut" ~metric:metric_dropped_cut payload
-        end
-      in
-      schedule t arrival deliver
+      let ev = alloc_ev t in
+      ev.k <- Ev_arrive;
+      ev.e_src <- src;
+      ev.e_dst <- dst;
+      ev.e_sent_at <- t.now;
+      ev.e_payload <- payload;
+      Plwg_util.Wheel.schedule t.queue ~tick:arrival ev
     end
 
 let multicast t ~src ~dsts payload = List.iter (fun dst -> send t ~src ~dst payload) dsts
 
 let make_timer t time guard action =
-  let cancelled = ref false in
-  schedule t time (fun () -> if (not !cancelled) && guard () then action ());
-  fun () -> cancelled := true
+  let ev = alloc_ev t in
+  ev.k <- Ev_timer;
+  ev.e_guard <- guard;
+  ev.e_action <- action;
+  let h = Plwg_util.Wheel.schedule_handle t.queue ~tick:time ev in
+  fun () ->
+    match Plwg_util.Wheel.cancel t.queue h with
+    | Some ev -> release_ev t ev (* never fires: unlinked from the wheel before reuse *)
+    | None -> () (* already fired, or a stale handle after reuse: no-op *)
 
 let after t span action = make_timer t (Time.add t.now span) (fun () -> true) action
 
 let after_node t node span action =
   make_timer t (Time.add t.now span) (fun () -> Topology.is_alive t.topology node) action
+
+(* Fire-and-forget timers.  Most timers in the stack are never
+   cancelled — protocol tick loops, delayed acks, workload drivers — so
+   the handle record and cancel closure [make_timer] builds for them
+   are pure overhead.  These variants schedule the pooled event
+   directly; the liveness guard of [after_node_] is encoded in the
+   event kind ([Ev_timer_node] reads the node from [e_src]), so nothing
+   beyond the caller's action closure is allocated. *)
+let after_ t span action =
+  let ev = alloc_ev t in
+  ev.k <- Ev_timer;
+  ev.e_guard <- guard_true;
+  ev.e_action <- action;
+  Plwg_util.Wheel.schedule t.queue ~tick:(Time.add t.now span) ev
+
+let after_node_ t node span action =
+  let ev = alloc_ev t in
+  ev.k <- Ev_timer_node;
+  ev.e_src <- node;
+  ev.e_action <- action;
+  Plwg_util.Wheel.schedule t.queue ~tick:(Time.add t.now span) ev
 
 (* Crash/recover act only on an actual state transition: crashing a
    crashed node or recovering a live one is a silent no-op, so random
@@ -208,15 +324,45 @@ let heal t =
   count t "engine.heals";
   trace t (fun () -> Plwg_obs.Event.Healed)
 
+(* Execute one popped event.  Fields are read into locals and the
+   record released *before* running protocol code, so handlers that
+   send (and thus allocate from the pool) cannot observe a live record
+   they are about to recycle. *)
+let exec t ev =
+  match ev.k with
+  | Ev_cpu ->
+      let src = ev.e_src and dst = ev.e_dst and sent_at = ev.e_sent_at and payload = ev.e_payload in
+      t.in_flight <- t.in_flight - 1;
+      release_ev t ev;
+      dispatch t ~sent_at ~src ~dst payload
+  | Ev_arrive ->
+      let src = ev.e_src and dst = ev.e_dst and sent_at = ev.e_sent_at and payload = ev.e_payload in
+      release_ev t ev;
+      (* A partition installed while the message was in flight cuts it. *)
+      if Topology.reachable t.topology src dst then enqueue_cpu t ~sent_at ~src ~dst payload
+      else begin
+        t.in_flight <- t.in_flight - 1;
+        t.unreachable_dropped <- t.unreachable_dropped + 1;
+        drop t ~src ~dst ~reason:"cut" ~metric:metric_dropped_cut payload
+      end
+  | Ev_timer ->
+      let guard = ev.e_guard and action = ev.e_action in
+      release_ev t ev;
+      if guard () then action ()
+  | Ev_timer_node ->
+      let node = ev.e_src and action = ev.e_action in
+      release_ev t ev;
+      if Topology.is_alive t.topology node then action ()
+  | Ev_free -> assert false (* popped a released record: pool corruption *)
+
 let run t ~until =
   let rec loop () =
-    match Plwg_util.Heap.peek t.queue with
-    | Some event when Time.compare event.time until <= 0 ->
-        ignore (Plwg_util.Heap.pop t.queue);
-        t.now <- event.time;
-        event.action ();
-        loop ()
-    | Some _ | None -> ()
+    let ev = Plwg_util.Wheel.pop_or t.queue ~limit:until ~none:ev_nil in
+    if ev != ev_nil then begin
+      t.now <- Plwg_util.Wheel.cur t.queue;
+      exec t ev;
+      loop ()
+    end
   in
   loop ();
   t.now <- max t.now until
@@ -224,19 +370,11 @@ let run t ~until =
 let run_span t span = run t ~until:(Time.add t.now span)
 
 let run_until_idle ?(limit = Time.sec 3600) t =
-  let rec loop () =
-    match Plwg_util.Heap.peek t.queue with
-    | Some event when Time.compare event.time limit <= 0 ->
-        ignore (Plwg_util.Heap.pop t.queue);
-        t.now <- event.time;
-        event.action ();
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
   (* Like [run], leave [now] at the horizon we simulated up to, so the
      two drivers agree on what [Engine.now] means afterwards. *)
-  t.now <- max t.now limit
+  run t ~until:limit
 
 let stats t =
   { sent = t.sent; delivered = t.delivered; wire_dropped = t.wire_dropped; unreachable_dropped = t.unreachable_dropped }
+
+let in_flight t = t.in_flight

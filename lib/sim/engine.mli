@@ -64,6 +64,14 @@ val after : t -> Time.span -> (unit -> unit) -> cancel
 val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
 (** Node timer: skipped if the node is crashed when it fires. *)
 
+val after_ : t -> Time.span -> (unit -> unit) -> unit
+(** [after] without the cancel capability: nothing but the action
+    closure is allocated.  Use for timers that are never cancelled
+    (tick loops, workload drivers). *)
+
+val after_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+(** [after_node] without the cancel capability; same liveness guard. *)
+
 val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
 (** Register a callback fired when the node transitions from crashed to
     alive.  [after_node] timers pending at crash time are silently
@@ -100,3 +108,9 @@ val run_until_idle : ?limit:Time.t -> t -> unit
 type stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
 
 val stats : t -> stats
+
+val in_flight : t -> int
+(** Messages accepted onto the wire or a CPU queue and not yet
+    delivered or dropped.  Fault-free, [sent = delivered + in_flight]
+    at all times, so running until this reaches zero gives a moment
+    where [sent = delivered] exactly (the macro bench's drain). *)

@@ -8,6 +8,7 @@ type t = {
      entry can never be served. *)
   comp_cache : Node_id.t list array;
   comp_cache_gen : int array;
+  nodes : Node_id.t list; (* 0..n-1; membership is fixed, built once *)
 }
 
 let create ~n_nodes =
@@ -19,11 +20,12 @@ let create ~n_nodes =
     generation = 0;
     comp_cache = Array.make n_nodes [];
     comp_cache_gen = Array.make n_nodes (-1);
+    nodes = List.init n_nodes (fun i -> i);
   }
 
 let n_nodes t = t.n
 
-let all_nodes t = List.init t.n (fun i -> i)
+let all_nodes t = t.nodes
 
 let check_node t node =
   if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Topology: node %d out of range" node)

@@ -16,6 +16,36 @@ type config = { rto : Time.span; max_rto : Time.span; give_up_after : int }
 
 let default_config = { rto = Time.ms 20; max_rto = Time.ms 320; give_up_after = 8 }
 
+(* One unacked segment, drawn from a per-endpoint freelist and returned
+   to it when the cumulative ack (or a connection reset) retires it, so
+   steady-state sending allocates no per-message records.  A released
+   slot is poisoned: [s_free] set, body swapped for [Released_slot] and
+   the generation stamp bumped, so any path still holding one trips
+   [slot_check] instead of silently replaying stale bytes. *)
+type Payload.t += Released_slot
+
+type slot = {
+  mutable s_seq : int;
+  mutable s_body : Payload.t;
+  mutable s_free : bool;
+  mutable s_gen : int; (* bumped on release: epoch of the current occupancy *)
+  mutable s_next : slot; (* freelist link, [slot_nil]-terminated *)
+}
+
+let rec slot_nil = { s_seq = -1; s_body = Released_slot; s_free = true; s_gen = 0; s_next = slot_nil }
+
+(* Debug-mode use-after-release detection on every read of a pooled
+   slot (retransmit, ack prune, reset drain).  On by default: the check
+   is a load and a branch, and a stale slot observed on the wire is a
+   protocol-corrupting bug worth crashing on. *)
+let pool_debug = ref true
+
+let set_pool_debug enabled = pool_debug := enabled
+
+let slot_check slot =
+  if !pool_debug && (slot.s_free || slot.s_body == Released_slot) then
+    failwith "transport: use-after-release of pooled unacked slot"
+
 (* Sender side of one (src, dst) connection.  The unacked window is a
    ring: sends push at the back, cumulative acks pop from the front, so
    a deep backlog costs O(1) per message instead of the O(n) append and
@@ -23,7 +53,7 @@ let default_config = { rto = Time.ms 20; max_rto = Time.ms 320; give_up_after = 
 type out_conn = {
   mutable out_id : int;
   mutable next_seq : int;
-  unacked : (int * Payload.t) Deque.t; (* oldest first, seq strictly increasing *)
+  unacked : slot Deque.t; (* oldest first, seq strictly increasing *)
   mutable acked_progress : int; (* value of peer's last cumulative ack *)
   mutable retries : int;
   mutable cur_rto : Time.span;
@@ -43,12 +73,38 @@ type endpoint = {
   engine : Engine.t;
   config : config;
   mutable conn_counter : int;
-  outs : (Node_id.t, out_conn) Hashtbl.t;
-  ins : (Node_id.t, in_conn) Hashtbl.t;
-  mutable handlers : (src:Node_id.t -> Payload.t -> unit) list;
+  (* Per-peer connection state, indexed by node id.  Node ids are dense
+     small ints, so a flat array turns the two per-message lookups
+     (sender's in-conn, acker's out-conn) into loads with no hashing.
+     The [Some] is allocated once per peer, never per message. *)
+  outs : out_conn option array;
+  ins : in_conn option array;
+  mutable handlers : (src:Node_id.t -> Payload.t -> unit) list; (* newest-first *)
+  mutable frozen_handlers : (src:Node_id.t -> Payload.t -> unit) array; (* registration order *)
+  mutable handlers_dirty : bool;
   mutable in_flight : int; (* total unacked across all out connections *)
   mutable in_flight_peak : int;
+  mutable slot_free : slot; (* freelist of released unacked slots *)
 }
+
+let alloc_slot ep ~seq ~body =
+  let s = ep.slot_free in
+  if s != slot_nil then begin
+    ep.slot_free <- s.s_next;
+    s.s_seq <- seq;
+    s.s_body <- body;
+    s.s_free <- false;
+    s.s_next <- slot_nil;
+    s
+  end
+  else { s_seq = seq; s_body = body; s_free = false; s_gen = 0; s_next = slot_nil }
+
+let release_slot ep s =
+  s.s_free <- true;
+  s.s_gen <- s.s_gen + 1;
+  s.s_body <- Released_slot;
+  s.s_next <- ep.slot_free;
+  ep.slot_free <- s
 
 type t = { fabric_engine : Engine.t; fabric_config : config; endpoints : endpoint option array }
 
@@ -61,18 +117,28 @@ let create ?(config = default_config) engine =
 
 let engine t = t.fabric_engine
 
-(* Handlers are stored newest-first; reverse so they fire in
-   registration order. *)
-let deliver ep ~src body = List.iter (fun handler -> handler ~src body) (List.rev ep.handlers)
+(* Handlers are stored newest-first; the reversed (registration-order)
+   list is frozen into an array on the first delivery after a
+   registration, so the per-message path is a plain array walk with no
+   [List.rev] allocation. *)
+let deliver ep ~src body =
+  if ep.handlers_dirty then begin
+    ep.frozen_handlers <- Array.of_list (List.rev ep.handlers);
+    ep.handlers_dirty <- false
+  end;
+  let handlers = ep.frozen_handlers in
+  for i = 0 to Array.length handlers - 1 do
+    handlers.(i) ~src body
+  done
 
 let ack_delay = Time.ms 5
 
 let get_in ep src =
-  match Hashtbl.find_opt ep.ins src with
+  match ep.ins.(src) with
   | Some ic -> ic
   | None ->
       let ic = { in_id = -1; next_expected = 0; out_of_order = Seqbuf.create (); ack_pending = false } in
-      Hashtbl.add ep.ins src ic;
+      ep.ins.(src) <- Some ic;
       ic
 
 let send_ack ep ~dst ic =
@@ -82,8 +148,7 @@ let send_ack ep ~dst ic =
       ic.ack_pending <- false;
       Engine.send ep.engine ~src:ep.node ~dst (Ack { conn = ic.in_id; next = ic.next_expected })
     in
-    let (_ : Engine.cancel) = Engine.after_node ep.engine ep.node ack_delay fire in
-    ()
+    Engine.after_node_ ep.engine ep.node ack_delay fire
   end
 
 let rec drain_in_order ep ~src ic =
@@ -110,7 +175,9 @@ let on_seg ep ~src ~conn ~seq body =
     if seq = ic.next_expected then begin
       ic.next_expected <- seq + 1;
       deliver ep ~src body;
-      drain_in_order ep ~src ic
+      (* steady state the reorder buffer is empty; [min_opt] would
+         allocate an option per delivered segment *)
+      if not (Seqbuf.is_empty ic.out_of_order) then drain_in_order ep ~src ic
     end
     else if seq > ic.next_expected then Seqbuf.add ic.out_of_order seq body;
     send_ack ep ~dst:src ic
@@ -120,16 +187,18 @@ let on_seg ep ~src ~conn ~seq body =
 let reset_out ep ~dst oc =
   Engine.count ep.engine "transport.conn_resets";
   Deque.iter
-    (fun (_, body) ->
+    (fun s ->
+      slot_check s;
       Engine.trace ep.engine (fun () ->
           Plwg_obs.Event.Msg_dropped
-            { src = ep.node; dst; kind = Payload.to_string body; reason = "conn-reset" }))
+            { src = ep.node; dst; kind = Payload.to_string s.s_body; reason = "conn-reset" }))
     oc.unacked;
   (match oc.timer with Some cancel -> cancel () | None -> ());
   ep.conn_counter <- ep.conn_counter + 1;
   ep.in_flight <- ep.in_flight - Deque.length oc.unacked;
   oc.out_id <- ep.conn_counter;
   oc.next_seq <- 0;
+  Deque.iter (release_slot ep) oc.unacked;
   Deque.clear oc.unacked;
   oc.acked_progress <- 0;
   oc.retries <- 0;
@@ -147,9 +216,10 @@ let rec arm_timer ep ~dst oc =
       else begin
         let batch = min retransmit_batch (Deque.length oc.unacked) in
         for i = 0 to batch - 1 do
-          let seq, body = Deque.get oc.unacked i in
+          let s = Deque.get oc.unacked i in
+          slot_check s;
           Engine.count ep.engine "transport.retransmits";
-          Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body })
+          Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq = s.s_seq; body = s.s_body })
         done;
         oc.cur_rto <- min (oc.cur_rto * 2) ep.config.max_rto;
         arm_timer ep ~dst oc
@@ -159,7 +229,7 @@ let rec arm_timer ep ~dst oc =
   oc.timer <- Some (Engine.after_node ep.engine ep.node oc.cur_rto fire)
 
 let get_out ep dst =
-  match Hashtbl.find_opt ep.outs dst with
+  match ep.outs.(dst) with
   | Some oc -> oc
   | None ->
       ep.conn_counter <- ep.conn_counter + 1;
@@ -174,11 +244,12 @@ let get_out ep dst =
           timer = None;
         }
       in
-      Hashtbl.add ep.outs dst oc;
+      ep.outs.(dst) <- Some oc;
       oc
 
 let on_ack ep ~src ~conn ~next =
-  match Hashtbl.find_opt ep.outs src with
+  match ep.outs.(src) with
+  | None -> ()
   | Some oc when oc.out_id = conn ->
       if next > oc.acked_progress then begin
         oc.acked_progress <- next;
@@ -189,8 +260,9 @@ let on_ack ep ~src ~conn ~next =
          to back, so everything below [next] sits at the front *)
       let rec prune () =
         match Deque.peek_front oc.unacked with
-        | Some (seq, _) when seq < next ->
+        | Some s when (slot_check s; s.s_seq < next) ->
             ignore (Deque.pop_front oc.unacked);
+            release_slot ep s;
             ep.in_flight <- ep.in_flight - 1;
             prune ()
         | Some _ | None -> ()
@@ -200,7 +272,7 @@ let on_ack ep ~src ~conn ~next =
         (match oc.timer with Some cancel -> cancel () | None -> ());
         oc.timer <- None
       end
-  | Some _ | None -> ()
+  | _ -> ()
 
 let handle ep ~src payload =
   match payload with
@@ -212,17 +284,21 @@ let endpoint t node =
   match t.endpoints.(node) with
   | Some ep -> ep
   | None ->
+      let n_nodes = Topology.n_nodes (Engine.topology t.fabric_engine) in
       let ep =
         {
           node;
           engine = t.fabric_engine;
           config = t.fabric_config;
           conn_counter = 0;
-          outs = Hashtbl.create 16;
-          ins = Hashtbl.create 16;
+          outs = Array.make n_nodes None;
+          ins = Array.make n_nodes None;
           handlers = [];
+          frozen_handlers = [||];
+          handlers_dirty = false;
           in_flight = 0;
           in_flight_peak = 0;
+          slot_free = slot_nil;
         }
       in
       t.endpoints.(node) <- Some ep;
@@ -233,21 +309,25 @@ let endpoint t node =
          would never fire while [ack_pending] stays set.  Reset both on
          recovery so backlogs drain again. *)
       Engine.on_recover t.fabric_engine node (fun () ->
-          Plwg_util.Tbl.iter_sorted ~cmp:Node_id.compare
+          (* array index order = node-id order, so iteration is
+             deterministic without the sorted-table walk *)
+          Array.iteri
             (fun dst oc ->
-              if not (Deque.is_empty oc.unacked) then begin
-                (match oc.timer with Some cancel -> cancel () | None -> ());
-                oc.timer <- None;
-                oc.cur_rto <- ep.config.rto;
-                arm_timer ep ~dst oc
-              end)
+              match oc with
+              | Some oc when not (Deque.is_empty oc.unacked) ->
+                  (match oc.timer with Some cancel -> cancel () | None -> ());
+                  oc.timer <- None;
+                  oc.cur_rto <- ep.config.rto;
+                  arm_timer ep ~dst oc
+              | _ -> ())
             ep.outs;
-          Plwg_util.Tbl.iter_sorted ~cmp:Node_id.compare
+          Array.iteri
             (fun dst ic ->
-              if ic.ack_pending then begin
-                ic.ack_pending <- false;
-                send_ack ep ~dst ic
-              end)
+              match ic with
+              | Some ic when ic.ack_pending ->
+                  ic.ack_pending <- false;
+                  send_ack ep ~dst ic
+              | _ -> ())
             ep.ins);
       ep
 
@@ -259,7 +339,7 @@ let send ep ~dst body =
     let oc = get_out ep dst in
     let seq = oc.next_seq in
     oc.next_seq <- seq + 1;
-    Deque.push_back oc.unacked (seq, body);
+    Deque.push_back oc.unacked (alloc_slot ep ~seq ~body);
     ep.in_flight <- ep.in_flight + 1;
     if ep.in_flight > ep.in_flight_peak then ep.in_flight_peak <- ep.in_flight;
     Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
@@ -268,7 +348,9 @@ let send ep ~dst body =
 
 let send_raw ep ~dst payload = Engine.send ep.engine ~src:ep.node ~dst payload
 
-let on_receive ep handler = ep.handlers <- handler :: ep.handlers
+let on_receive ep handler =
+  ep.handlers <- handler :: ep.handlers;
+  ep.handlers_dirty <- true
 
 let broadcast_raw t ~src payload =
   let nodes = Topology.all_nodes (Engine.topology t.fabric_engine) in

@@ -55,3 +55,10 @@ val in_flight : endpoint -> int
 
 val in_flight_peak : endpoint -> int
 (** High-water mark of {!in_flight} over the endpoint's lifetime. *)
+
+val set_pool_debug : bool -> unit
+(** Enable/disable the freelist's use-after-release checks (on by
+    default).  Unacked segments live in pooled slots that are poisoned
+    when the cumulative ack or a connection reset releases them; with
+    checks on, any retransmit/ack/reset path that touches a released
+    slot raises instead of replaying stale bytes. *)

@@ -1,0 +1,21 @@
+type 'a t = {
+  tbl : (int, 'a) Hashtbl.t;
+  mutable order : int list; (* reverse first-interned order *)
+  mutable count : int;
+}
+
+let create ?(size = 64) () = { tbl = Hashtbl.create size; order = []; count = 0 }
+
+let intern t code render =
+  try Hashtbl.find t.tbl code
+  with Not_found ->
+    let v = render code in
+    Hashtbl.add t.tbl code v;
+    t.order <- code :: t.order;
+    t.count <- t.count + 1;
+    v
+
+let find t code = Hashtbl.find_opt t.tbl code
+let mem t code = Hashtbl.mem t.tbl code
+let count t = t.count
+let codes t = List.rev t.order

@@ -1,0 +1,282 @@
+(* Hierarchical timing wheel (Varghese & Lauck): [levels] levels of
+   [slots] slots; level [l] slot granularity is [2^(bits*l)] ticks.
+   Each slot is a singly-linked FIFO of pooled nodes terminated by a
+   shared [nil] sentinel, so no options or list cells are allocated on
+   the hot path.
+
+   Placement invariant: a node with tick [T] lives at the lowest level
+   [l] such that [T] and the cursor agree on all digits above [l]
+   (forced to the top level when even the top digits differ, which is
+   still correct for any [T - cur < capacity]).  When the cursor enters
+   a new slot window, [cascade] redistributes exactly the slots whose
+   digit changed, top level first, preserving FIFO order.  Two nodes
+   sharing a tick therefore always sit in the same slot, in schedule
+   order — which makes pop order identical to the (time, seq) order of
+   the binary heap this module replaces.
+
+   Cancellation is lazy: the node is marked dead, its value poisoned
+   with [dummy], and it is reclaimed when the scan or a cascade next
+   touches it — a dead node is structurally incapable of popping.  The
+   per-node generation stamp makes stale handles (cancel after fire and
+   node reuse) harmless. *)
+
+let bits = 8
+let slots = 1 lsl bits
+let mask = slots - 1
+let levels = 6
+let capacity = 1 lsl (bits * levels)
+
+type 'a node = {
+  mutable n_tick : int;
+  mutable n_value : 'a;
+  mutable n_next : 'a node; (* slot chain or freelist link; [nil]-terminated *)
+  mutable n_live : bool; (* false: cancelled or free *)
+  mutable n_gen : int; (* bumped on release; stale handles fail the check *)
+}
+
+type 'a handle = { h_node : 'a node; h_gen : int }
+
+type 'a t = {
+  dummy : 'a;
+  nil : 'a node;
+  mutable cur : int;
+  mutable live : int; (* live nodes, wheel + overdue *)
+  heads : 'a node array array; (* levels x slots *)
+  tails : 'a node array array;
+  occ0 : int array; (* level-0 occupancy bitmap: bit [i land 31] of word [i lsr 5] set iff slot [i] head is non-nil *)
+  mutable overdue : 'a node; (* ticks < cur, sorted, FIFO among equals *)
+  mutable free : 'a node;
+  mutable pooled : int;
+  mutable allocated : int;
+}
+
+let create ?(start = 0) ~dummy () =
+  let rec nil = { n_tick = 0; n_value = dummy; n_next = nil; n_live = false; n_gen = 0 } in
+  {
+    dummy;
+    nil;
+    cur = start;
+    live = 0;
+    heads = Array.init levels (fun _ -> Array.make slots nil);
+    tails = Array.init levels (fun _ -> Array.make slots nil);
+    occ0 = Array.make (slots / 32) 0;
+    overdue = nil;
+    free = nil;
+    pooled = 0;
+    allocated = 0;
+  }
+
+let cur t = t.cur
+let length t = t.live
+let is_empty t = t.live = 0
+let pooled t = t.pooled
+let allocated t = t.allocated
+
+let release t nd =
+  nd.n_live <- false;
+  nd.n_gen <- nd.n_gen + 1;
+  nd.n_value <- t.dummy;
+  nd.n_next <- t.free;
+  t.free <- nd;
+  t.pooled <- t.pooled + 1
+
+let alloc t ~tick value =
+  if t.free != t.nil then begin
+    let nd = t.free in
+    t.free <- nd.n_next;
+    t.pooled <- t.pooled - 1;
+    nd.n_tick <- tick;
+    nd.n_value <- value;
+    nd.n_live <- true;
+    nd.n_next <- t.nil;
+    nd
+  end
+  else begin
+    t.allocated <- t.allocated + 1;
+    { n_tick = tick; n_value = value; n_next = t.nil; n_live = true; n_gen = 0 }
+  end
+
+let level_of t tick =
+  let rec go l =
+    if l >= levels - 1 then levels - 1
+    else if tick lsr (bits * (l + 1)) = t.cur lsr (bits * (l + 1)) then l
+    else go (l + 1)
+  in
+  go 0
+
+let occ_clear t idx = t.occ0.(idx lsr 5) <- t.occ0.(idx lsr 5) land lnot (1 lsl (idx land 31))
+
+let append t level idx nd =
+  nd.n_next <- t.nil;
+  if t.heads.(level).(idx) == t.nil then begin
+    t.heads.(level).(idx) <- nd;
+    if level = 0 then t.occ0.(idx lsr 5) <- t.occ0.(idx lsr 5) lor (1 lsl (idx land 31))
+  end
+  else t.tails.(level).(idx).n_next <- nd;
+  t.tails.(level).(idx) <- nd
+
+let insert t nd =
+  let l = level_of t nd.n_tick in
+  append t l ((nd.n_tick lsr (bits * l)) land mask) nd
+
+(* Redistribute the slots that became current when the cursor moved to
+   [t.cur] (a multiple of [slots]): level 1's new slot always, and each
+   higher level whose lower digits all wrapped to zero, top first so
+   re-insertions land in already-cascaded territory. *)
+let cascade t =
+  let c = t.cur in
+  let max_l = ref 1 in
+  while !max_l < levels - 1 && (c lsr (bits * !max_l)) land mask = 0 do
+    incr max_l
+  done;
+  for l = !max_l downto 1 do
+    let idx = (c lsr (bits * l)) land mask in
+    let nd = ref t.heads.(l).(idx) in
+    t.heads.(l).(idx) <- t.nil;
+    t.tails.(l).(idx) <- t.nil;
+    while !nd != t.nil do
+      let next = !nd.n_next in
+      if !nd.n_live then insert t !nd else release t !nd;
+      nd := next
+    done
+  done
+
+let schedule_node t ~tick value =
+  let nd = alloc t ~tick value in
+  t.live <- t.live + 1;
+  if tick < t.cur then begin
+    (* overdue backlog: sorted insert, after any equal tick (FIFO) *)
+    if t.overdue == t.nil || tick < t.overdue.n_tick then begin
+      nd.n_next <- t.overdue;
+      t.overdue <- nd
+    end
+    else begin
+      let p = ref t.overdue in
+      while !p.n_next != t.nil && !p.n_next.n_tick <= tick do
+        p := !p.n_next
+      done;
+      nd.n_next <- !p.n_next;
+      !p.n_next <- nd
+    end
+  end
+  else begin
+    if tick - t.cur >= capacity then invalid_arg "Wheel.schedule: tick beyond horizon";
+    insert t nd
+  end;
+  nd
+
+let schedule t ~tick value = ignore (schedule_node t ~tick value : _ node)
+
+let schedule_handle t ~tick value =
+  let nd = schedule_node t ~tick value in
+  { h_node = nd; h_gen = nd.n_gen }
+
+let cancel t h =
+  let nd = h.h_node in
+  if nd.n_gen <> h.h_gen || not nd.n_live then None
+  else begin
+    nd.n_live <- false;
+    t.live <- t.live - 1;
+    let v = nd.n_value in
+    nd.n_value <- t.dummy;
+    Some v
+  end
+
+(* Drop dead nodes from the head of level-0 slot [idx]. *)
+let rec clean0 t idx =
+  let h = t.heads.(0).(idx) in
+  if h != t.nil && not h.n_live then begin
+    t.heads.(0).(idx) <- h.n_next;
+    if h.n_next == t.nil then begin
+      t.tails.(0).(idx) <- t.nil;
+      occ_clear t idx
+    end;
+    release t h;
+    clean0 t idx
+  end
+
+let rec clean_overdue t =
+  let h = t.overdue in
+  if h != t.nil && not h.n_live then begin
+    t.overdue <- h.n_next;
+    release t h;
+    clean_overdue t
+  end
+
+(* Occupancy scan: first occupied level-0 slot at index >= [i], or
+   [slots] when the rest of the window is empty.  A word of the bitmap
+   covers 32 slots, so an empty window costs 8 word tests instead of
+   256 head loads; [ctz_loop]'s cost is the found bit's index within
+   its word.  Tail-recursive ints only — no allocation (plain refs
+   would be heap blocks without flambda). *)
+let rec ctz_loop w n = if w land 1 = 1 then n else ctz_loop (w lsr 1) (n + 1)
+
+let rec next_occupied_word t w =
+  if w >= Array.length t.occ0 then slots
+  else
+    let bits = t.occ0.(w) in
+    if bits <> 0 then (w lsl 5) + ctz_loop bits 0 else next_occupied_word t (w + 1)
+
+let next_occupied t i =
+  if i >= slots then slots
+  else
+    let bits = t.occ0.(i lsr 5) land (-1 lsl (i land 31)) in
+    if bits <> 0 then ((i lsr 5) lsl 5) + ctz_loop bits 0 else next_occupied_word t ((i lsr 5) + 1)
+
+let rec pop_wheel t ~limit ~none =
+  if t.live = 0 then begin
+    if limit > t.cur then t.cur <- limit;
+    none
+  end
+  else begin
+    let base = t.cur land lnot mask in
+    let i = next_occupied t (t.cur land mask) in
+    if i < slots then begin
+      clean0 t i;
+      let h = t.heads.(0).(i) in
+      if h == t.nil then pop_wheel t ~limit ~none (* chain was all dead; bit is cleared, rescan *)
+      else if h.n_tick > limit then begin
+        (* level-0 slots in the current window hold exact ticks *)
+        t.cur <- limit;
+        none
+      end
+      else begin
+        t.cur <- h.n_tick;
+        t.heads.(0).(i) <- h.n_next;
+        if h.n_next == t.nil then begin
+          t.tails.(0).(i) <- t.nil;
+          occ_clear t i
+        end;
+        t.live <- t.live - 1;
+        let v = h.n_value in
+        release t h;
+        v
+      end
+    end
+    else begin
+      (* window exhausted; enter the next one or stop at the limit *)
+      let next_base = base + slots in
+      if next_base > limit then begin
+        t.cur <- limit;
+        none
+      end
+      else begin
+        t.cur <- next_base;
+        cascade t;
+        pop_wheel t ~limit ~none
+      end
+    end
+  end
+
+let pop_or t ~limit ~none =
+  clean_overdue t;
+  if t.overdue != t.nil && t.overdue.n_tick <= limit then begin
+    let h = t.overdue in
+    t.overdue <- h.n_next;
+    t.live <- t.live - 1;
+    let v = h.n_value in
+    release t h;
+    v
+  end
+  else if limit < t.cur then none
+  else pop_wheel t ~limit ~none

@@ -126,18 +126,19 @@ type gstate = {
   mutable view_seq : int;
   mutable next_seq : int;
   mutable next_local : int;
-  mutable delivered : int Node_id.Map.t;
+  delivered : int array; (* per sender: count delivered in current view; 0 = none *)
   mutable to_delivered : int Node_id.Map.t; (* per origin, across views *)
   mutable to_stamped : int Node_id.Map.t; (* coordinator, per view *)
   (* Retransmission store, one seq-ascending deque per sender: delivery
      appends at the back, stability pruning pops from the front, and
-     [store_count] keeps the size O(1) — the list this replaces was
-     re-filtered and re-counted wholesale on every stability round. *)
-  mutable store : app_msg Deque.t Node_id.Map.t;
+     [store_count] keeps the size O(1).  Flat array indexed by sender —
+     the map this replaces allocated a node on every delivery. *)
+  store : app_msg Deque.t array;
   mutable store_count : int;
   mutable store_peak : int; (* lifetime high-water mark, across views *)
-  mutable stable_floor : int Node_id.Map.t; (* per sender: all members delivered below this *)
-  mutable peer_delivered : int Node_id.Map.t Node_id.Map.t; (* member -> delivery vector, current view *)
+  stable_floor : int array; (* per sender: all members delivered below this *)
+  peer_vec : int array array; (* member -> delivery vector, current view; [||] until first heard *)
+  peer_seen : bool array; (* member reported a vector in the current view *)
   mutable frozen : (View_id.t * app_msg) list; (* reversed arrival order *)
   mutable outbox : Payload.t list; (* reversed *)
   to_pending : (int * Payload.t) Deque.t; (* oldest first *)
@@ -148,6 +149,12 @@ type gstate = {
   mutable want_flush : bool;
   mutable leaving_self : bool;
   mutable change : change option;
+  (* memo of [View.members_set] for the current view, keyed by
+     [View_id.code]: [evaluate] runs per tick per group and per
+     announce, and rebuilding the member set each time dominated its
+     cost.  [-1] = nothing cached. *)
+  mutable members_memo_for : int;
+  mutable members_memo : Node_id.Set.t;
 }
 
 type t = {
@@ -159,8 +166,8 @@ type t = {
   callbacks : callbacks;
   recorder : (Time.t -> event -> unit) option;
   transport : Transport.t;
-  states : (Gid.t, gstate) Hashtbl.t;
-  seq_floor : (Gid.t, int) Hashtbl.t; (* highest view seq seen per group, across incarnations *)
+  states : gstate Plwg_util.Itbl.t; (* keyed by Gid.code *)
+  seq_floor : int Plwg_util.Itbl.t; (* highest view seq seen per Gid.code, across incarnations *)
   mutable gid_counter : int;
 }
 
@@ -168,9 +175,24 @@ let node t = t.node
 
 let record t event = match t.recorder with Some r -> r (Engine.now t.engine) event | None -> ()
 
-let lookup t group = Hashtbl.find_opt t.states group
+let lookup t group = Plwg_util.Itbl.find_opt t.states (Gid.code group)
+
+(* Hot-path variant: the per-message handlers below match on
+   [exception Not_found] instead of an option, so the hit path — every
+   delivered group message — does not allocate a [Some]. *)
+let lookup_exn t group = Plwg_util.Itbl.find t.states (Gid.code group)
 
 let delivered_count map sender = match Node_id.Map.find_opt sender map with Some n -> n | None -> 0
+
+(* Wire form of a delivery vector: nonzero entries in ascending node id.
+   Byte-compatible with the [Node_id.Map.bindings] this replaces — a map
+   entry existed iff at least one delivery happened, i.e. count > 0. *)
+let vec_bindings v =
+  let acc = ref [] in
+  for i = Array.length v - 1 downto 0 do
+    if v.(i) > 0 then acc := (i, v.(i)) :: !acc
+  done;
+  !acc
 
 let unicast t ~dst payload = Transport.send t.endpoint ~dst payload
 
@@ -229,13 +251,8 @@ let deliver_upcall t g msg ~view_id =
   end
 
 let deliver_now t g msg ~view_id =
-  g.delivered <- Node_id.Map.add msg.sender (msg.seq + 1) g.delivered;
-  (match Node_id.Map.find_opt msg.sender g.store with
-  | Some dq -> Deque.push_back dq msg
-  | None ->
-      let dq = Deque.create () in
-      Deque.push_back dq msg;
-      g.store <- Node_id.Map.add msg.sender dq g.store);
+  g.delivered.(msg.sender) <- msg.seq + 1;
+  Deque.push_back g.store.(msg.sender) msg;
   g.store_count <- g.store_count + 1;
   if g.store_count > g.store_peak then g.store_peak <- g.store_count;
   deliver_upcall t g msg ~view_id
@@ -243,19 +260,23 @@ let deliver_now t g msg ~view_id =
 (* Flatten the store for the wire (FLUSHED).  Consumers key the bodies
    by (sender, seq); ordering across senders is immaterial. *)
 let store_to_list g =
-  Node_id.Map.fold (fun _ dq acc -> Deque.fold_left (fun acc msg -> msg :: acc) acc dq) g.store []
+  let acc = ref [] in
+  for sender = 0 to Array.length g.store - 1 do
+    acc := Deque.fold_left (fun acc msg -> msg :: acc) !acc g.store.(sender)
+  done;
+  !acc
 
 (* A message is deliverable when it is the sender's next (FIFO) and, in
    causal mode, every delivery its vector clock records has happened
    here too. *)
 let deliverable g msg =
-  Int.equal msg.seq (delivered_count g.delivered msg.sender)
+  Int.equal msg.seq g.delivered.(msg.sender)
   &&
   match g.ordering with
   | Fifo | Total -> true
   | Causal ->
       List.for_all
-        (fun (node, count) -> Node_id.equal node msg.sender || delivered_count g.delivered node >= count)
+        (fun (node, count) -> Node_id.equal node msg.sender || g.delivered.(node) >= count)
         msg.vc
 
 (* Deliver any frozen messages for the current view that are now in
@@ -300,7 +321,7 @@ let stamp_and_multicast t g ~origin ~local_id body =
       g.next_seq <- seq + 1;
       let vc =
         match g.ordering with
-        | Causal -> Node_id.Map.bindings g.delivered
+        | Causal -> vec_bindings g.delivered
         | Fifo | Total -> []
       in
       multicast_data t g { sender = t.node; seq; origin; local_id; vc; body }
@@ -337,22 +358,23 @@ let send t group body =
 (* ------------------------------------------------------------------ *)
 
 let note_seq t group seq =
-  let floor = try Hashtbl.find t.seq_floor group with Not_found -> 0 in
-  if seq > floor then Hashtbl.replace t.seq_floor group seq
+  let key = Gid.code group in
+  let floor = try Plwg_util.Itbl.find t.seq_floor key with Not_found -> 0 in
+  if seq > floor then Plwg_util.Itbl.replace t.seq_floor key seq
 
-let seq_floor_of t group = try Hashtbl.find t.seq_floor group with Not_found -> 0
+let seq_floor_of t group = try Plwg_util.Itbl.find t.seq_floor (Gid.code group) with Not_found -> 0
 
 let reset_for_view t g view =
   note_seq t g.group view.View.id.View_id.seq;
   g.view <- Some view;
   g.status <- Normal;
   g.next_seq <- 0;
-  g.delivered <- Node_id.Map.empty;
+  Array.fill g.delivered 0 (Array.length g.delivered) 0;
   g.to_stamped <- Node_id.Map.empty;
-  g.store <- Node_id.Map.empty;
+  Array.iter Deque.clear g.store;
   g.store_count <- 0;
-  g.stable_floor <- Node_id.Map.empty;
-  g.peer_delivered <- Node_id.Map.empty;
+  Array.fill g.stable_floor 0 (Array.length g.stable_floor) 0;
+  Array.fill g.peer_seen 0 (Array.length g.peer_seen) false;
   g.joiners <- Node_id.Set.diff g.joiners (View.members_set view);
   g.leavers <- Node_id.Set.inter g.leavers (View.members_set view);
   g.foreign <- List.filter (fun (_, n) -> not (View.mem n view)) g.foreign;
@@ -404,7 +426,7 @@ let cancel_change t g change ~outcome =
 
 let remove_group t g =
   (match g.change with Some change -> cancel_change t g change ~outcome:"left" | None -> ());
-  Hashtbl.remove t.states g.group;
+  Plwg_util.Itbl.remove t.states (Gid.code g.group);
   record t (Left { node = t.node; group = g.group })
 
 (* ------------------------------------------------------------------ *)
@@ -414,12 +436,53 @@ let remove_group t g =
 (* The functions below are mutually recursive: evaluation can initiate
    a change, whose local Stop loops back into the handler, etc. *)
 
+(* Steady-state fast path for [evaluate]: with no pending joiners,
+   leavers, foreign sightings, proposal residue or flush request,
+   [desired] below reduces to [{self} union (current inter reachable)],
+   which equals the installed membership exactly when every member is
+   reachable (or self).  Checking that against the detector's O(1)
+   status probe skips the set constructions of the full evaluation on
+   every quiet tick. *)
+let rec all_reachable t = function
+  | [] -> true
+  | m :: rest ->
+      (Node_id.equal m t.node
+      ||
+      match Detector.status t.detector m with
+      | Detector.Reachable -> true
+      | Detector.Unreachable -> false)
+      && all_reachable t rest
+
+let steady_no_change t g =
+  match g.view with
+  | None -> false
+  | Some v ->
+      (not g.want_flush)
+      && Node_id.Set.is_empty g.joiners
+      && Node_id.Set.is_empty g.leavers
+      && (match g.foreign with [] -> true | _ :: _ -> false)
+      && Node_id.Set.is_empty g.last_proposal
+      && all_reachable t v.View.members
+
 let rec evaluate t g =
   match g.status with
   | Joining _ -> ()
+  | (Normal | Stopped _) when steady_no_change t g -> ()
   | Normal | Stopped _ ->
       let reachable = Detector.reachable_set t.detector in
-      let current = match g.view with Some v -> View.members_set v | None -> Node_id.Set.empty in
+      let current =
+        match g.view with
+        | Some v ->
+            let vid = View_id.code v.View.id in
+            if Int.equal g.members_memo_for vid then g.members_memo
+            else begin
+              let s = View.members_set v in
+              g.members_memo_for <- vid;
+              g.members_memo <- s;
+              s
+            end
+        | None -> Node_id.Set.empty
+      in
       let candidates =
         Node_id.Set.union current
           (Node_id.Set.union g.joiners (Node_id.Set.union (fresh_foreign t g) g.last_proposal))
@@ -562,7 +625,7 @@ and flush_reply t g =
   match g.status with
   | Stopped stop ->
       stop.acked <- true;
-      let delivered = Node_id.Map.bindings g.delivered in
+      let delivered = vec_bindings g.delivered in
       unicast t ~dst:stop.st_coord
         (Hw_flushed
            {
@@ -577,9 +640,9 @@ and flush_reply t g =
   | Joining _ | Normal -> ()
 
 and handle_stop_nack t ~group ~epoch =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.change with
       | Some change when epoch >= change.ch_epoch ->
           cancel_change t g change ~outcome:"nacked";
@@ -588,9 +651,9 @@ and handle_stop_nack t ~group ~epoch =
       | Some _ | None -> g.epoch <- max g.epoch epoch)
 
 and handle_flushed t ~group ~epoch ~from ~info =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.change with
       | Some change when change.ch_epoch = epoch && Node_id.Set.mem from change.ch_proposal ->
           Logs.debug (fun m -> m "n%d flushed-from n%d %s e%d" t.node from (Gid.to_string group) epoch);
@@ -637,14 +700,15 @@ and finalize t g change =
     (fun member info ->
       match info.fi_prev with
       | Some prev ->
-          let key = prev.View.id in
+          let key = View_id.code prev.View.id in
           let bucket = try Hashtbl.find by_prev key with Not_found -> [] in
           Hashtbl.replace by_prev key ((member, info) :: bucket)
       | None -> ())
     infos;
   let cuts = Hashtbl.create 8 in
-  (* cut per (prev view id): sender -> max delivered count *)
-  Plwg_util.Tbl.iter_sorted ~cmp:View_id.compare
+  (* cut per (prev view id code): sender -> max delivered count; code
+     order = View_id.compare order, so iteration is deterministic *)
+  Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun prev_id bucket ->
       let cut =
         List.fold_left
@@ -679,7 +743,7 @@ and finalize t g change =
     match info.fi_prev with
     | None -> []
     | Some prev -> (
-        match Hashtbl.find_opt cuts prev.View.id with
+        match Hashtbl.find_opt cuts (View_id.code prev.View.id) with
         | None -> []
         | Some (cut, bodies) ->
             let missing = ref [] in
@@ -717,9 +781,9 @@ and finalize t g change =
     infos
 
 and handle_install t ~group ~epoch ~view ~sync ~you_left =
-  match lookup t group with
-  | None -> ()
-  | Some g ->
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g ->
       (* Only apply the install that answers our most recent flush: a
          stale install from a superseded coordinator would desynchronise
          the lineage (our flush state no longer matches it). *)
@@ -752,9 +816,9 @@ and handle_install t ~group ~epoch ~view ~sync ~you_left =
       end
 
 and handle_change_req t ~group ~joiners ~leavers ~foreign ~flush =
-  match lookup t group with
-  | None -> ()
-  | Some g ->
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g ->
       g.joiners <- List.fold_left (fun acc n -> Node_id.Set.add n acc) g.joiners joiners;
       g.leavers <- List.fold_left (fun acc n -> Node_id.Set.add n acc) g.leavers leavers;
       add_foreign t g foreign;
@@ -762,9 +826,9 @@ and handle_change_req t ~group ~joiners ~leavers ~foreign ~flush =
       evaluate t g
 
 and handle_join_announce t ~group ~joiner =
-  match lookup t group with
-  | None -> ()
-  | Some g ->
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g ->
       if Option.is_some g.view && not (Node_id.Set.mem joiner g.joiners) then begin
         (match g.view with
         | Some v when View.mem joiner v -> () (* already in *)
@@ -773,9 +837,9 @@ and handle_join_announce t ~group ~joiner =
       end
 
 and handle_view_announce t ~group ~view_id ~members =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.status with
       | Joining since ->
           (* the group exists elsewhere: keep announcing, do not form a
@@ -801,9 +865,9 @@ and handle_view_announce t ~group ~view_id ~members =
           | None -> add_foreign t g members))
 
 and handle_data t ~group ~view_id ~msg =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.view with
       | Some view when View_id.equal view.View.id view_id -> (
           match g.status with
@@ -812,7 +876,7 @@ and handle_data t ~group ~view_id ~msg =
                 deliver_now t g msg ~view_id;
                 drain_frozen t g
               end
-              else if msg.seq >= delivered_count g.delivered msg.sender then freeze t g view_id msg
+              else if msg.seq >= g.delivered.(msg.sender) then freeze t g view_id msg
           | Stopped _ ->
               (* already flushed: the install's sync decides this one *)
               freeze t g view_id msg
@@ -820,9 +884,9 @@ and handle_data t ~group ~view_id ~msg =
       | Some _ | None -> freeze t g view_id msg)
 
 and handle_to_req t ~group ~view_id ~origin ~local_id ~body =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match (g.status, g.view) with
       | Normal, Some view when View_id.equal view.View.id view_id && Node_id.equal (View.coordinator view) t.node ->
           let stamped = delivered_count g.to_stamped origin in
@@ -847,36 +911,42 @@ let broadcast_stability t g =
         (fun dst ->
           unicast t ~dst
             (Hw_stable
-               { group = g.group; view_id = view.View.id; from = t.node; delivered = Node_id.Map.bindings g.delivered }))
+               { group = g.group; view_id = view.View.id; from = t.node; delivered = vec_bindings g.delivered }))
         view.View.members
   | _, _ -> ()
 
 let handle_stable t ~group ~view_id ~from ~delivered =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.view with
       | Some view when View_id.equal view.View.id view_id ->
-          let vector = List.fold_left (fun acc (n, c) -> Node_id.Map.add n c acc) Node_id.Map.empty delivered in
-          g.peer_delivered <- Node_id.Map.add from vector g.peer_delivered;
-          if List.for_all (fun member -> Node_id.Map.mem member g.peer_delivered) view.View.members then begin
+          let n = Array.length g.delivered in
+          let row =
+            if Int.equal (Array.length g.peer_vec.(from)) 0 then begin
+              let r = Array.make n 0 in
+              g.peer_vec.(from) <- r;
+              r
+            end
+            else g.peer_vec.(from)
+          in
+          Array.fill row 0 n 0;
+          List.iter (fun (node, count) -> row.(node) <- count) delivered;
+          g.peer_seen.(from) <- true;
+          if List.for_all (fun member -> g.peer_seen.(member)) view.View.members then begin
+            (* every member reported for this view, so its row is
+               allocated and fresh *)
             let floor_for sender =
-              List.fold_left
-                (fun acc member ->
-                  match Node_id.Map.find_opt member g.peer_delivered with
-                  | Some vector -> min acc (delivered_count vector sender)
-                  | None -> 0)
-                max_int view.View.members
+              List.fold_left (fun acc member -> min acc g.peer_vec.(member).(sender)) max_int view.View.members
             in
-            g.stable_floor <-
-              Node_id.Map.fold
-                (fun sender _ acc -> Node_id.Map.add sender (floor_for sender) acc)
-                g.store Node_id.Map.empty;
-            (* per-sender deques are seq-ascending: everything below the
-               floor sits at the front, so pruning pops O(pruned) *)
-            Node_id.Map.iter
-              (fun sender dq ->
-                let floor = delivered_count g.stable_floor sender in
+            Array.fill g.stable_floor 0 n 0;
+            for sender = 0 to n - 1 do
+              let dq = g.store.(sender) in
+              if not (Deque.is_empty dq) then begin
+                let floor = floor_for sender in
+                g.stable_floor.(sender) <- floor;
+                (* per-sender deques are seq-ascending: everything below
+                   the floor sits at the front, so pruning pops O(pruned) *)
                 let rec prune () =
                   match Deque.peek_front dq with
                   | Some msg when msg.seq < floor ->
@@ -885,9 +955,9 @@ let handle_stable t ~group ~view_id ~from ~delivered =
                       prune ()
                   | Some _ | None -> ()
                 in
-                prune ())
-              g.store;
-            g.store <- Node_id.Map.filter (fun _ dq -> not (Deque.is_empty dq)) g.store
+                prune ()
+              end
+            done
           end
       | Some _ | None -> ())
 
@@ -913,43 +983,40 @@ let tick t g =
   | Normal | Stopped _ -> evaluate t g
 
 let start_group_timers t g =
-  let alive () = Hashtbl.mem t.states g.group in
-  (* The loops reschedule with [Engine.after] and guard the body on node
-     liveness rather than using [after_node]: an [after_node] timer that
-     fires while the node is crashed is skipped outright, which would
-     kill the loop permanently and leave the node a silent zombie after
-     recovery.  Here a crash merely suppresses the body; the first tick
-     after the node comes back resumes the protocol. *)
+  let key = Gid.code g.group in
+  let alive () = Plwg_util.Itbl.mem t.states key in
+  (* The loops reschedule with [Engine.after_] and guard the body on
+     node liveness rather than using [after_node_]: an [after_node_]
+     timer that fires while the node is crashed is skipped outright,
+     which would kill the loop permanently and leave the node a silent
+     zombie after recovery.  Here a crash merely suppresses the body;
+     the first tick after the node comes back resumes the protocol.
+     The loops are never cancelled (they stop by [alive] turning
+     false), so the no-handle variant applies. *)
   let up () = Topology.is_alive (Engine.topology t.engine) t.node in
   let rec tick_loop () =
     if alive () then begin
       if up () then tick t g;
-      let (_ : Engine.cancel) = Engine.after t.engine t.config.tick_period tick_loop in
-      ()
+      Engine.after_ t.engine t.config.tick_period tick_loop
     end
   in
   let rec announce_loop () =
     if alive () then begin
       if up () then announce t g;
-      let (_ : Engine.cancel) = Engine.after t.engine t.config.announce_period announce_loop in
-      ()
+      Engine.after_ t.engine t.config.announce_period announce_loop
     end
   in
   let rec stability_loop () =
     if alive () then begin
       if up () then broadcast_stability t g;
-      let (_ : Engine.cancel) = Engine.after t.engine t.config.stability_period stability_loop in
-      ()
+      Engine.after_ t.engine t.config.stability_period stability_loop
     end
   in
   (* stagger the first firing so nodes do not tick in lock-step *)
   let jitter = Time.us (Plwg_util.Rng.int (Engine.rng t.engine) (t.config.tick_period / 2)) in
-  let (_ : Engine.cancel) = Engine.after t.engine jitter tick_loop in
-  let (_ : Engine.cancel) = Engine.after t.engine (jitter + (t.config.announce_period / 3)) announce_loop in
-  if t.config.stability_period > 0 then begin
-    let (_ : Engine.cancel) = Engine.after t.engine (jitter + (t.config.stability_period / 2)) stability_loop in
-    ()
-  end
+  Engine.after_ t.engine jitter tick_loop;
+  Engine.after_ t.engine (jitter + (t.config.announce_period / 3)) announce_loop;
+  if t.config.stability_period > 0 then Engine.after_ t.engine (jitter + (t.config.stability_period / 2)) stability_loop
 
 (* ------------------------------------------------------------------ *)
 (* Public API                                                          *)
@@ -959,6 +1026,7 @@ let join ?(ordering = Fifo) t group =
   match lookup t group with
   | Some _ -> () (* already joining or joined *)
   | None ->
+      let n = Topology.n_nodes (Engine.topology t.engine) in
       let g =
         {
           group;
@@ -969,14 +1037,15 @@ let join ?(ordering = Fifo) t group =
           view_seq = seq_floor_of t group;
           next_seq = 0;
           next_local = 0;
-          delivered = Node_id.Map.empty;
+          delivered = Array.make n 0;
           to_delivered = Node_id.Map.empty;
           to_stamped = Node_id.Map.empty;
-          store = Node_id.Map.empty;
+          store = Array.init n (fun _ -> Deque.create ());
           store_count = 0;
           store_peak = 0;
-          stable_floor = Node_id.Map.empty;
-          peer_delivered = Node_id.Map.empty;
+          stable_floor = Array.make n 0;
+          peer_vec = Array.make n [||];
+          peer_seen = Array.make n false;
           frozen = [];
           outbox = [];
           to_pending = Deque.create ();
@@ -987,16 +1056,18 @@ let join ?(ordering = Fifo) t group =
           want_flush = false;
           leaving_self = false;
           change = None;
+          members_memo_for = -1;
+          members_memo = Node_id.Set.empty;
         }
       in
-      Hashtbl.replace t.states group g;
+      Plwg_util.Itbl.replace t.states (Gid.code group) g;
       broadcast t (Hw_join_announce { group; joiner = t.node });
       start_group_timers t g
 
 let leave t group =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match (g.status, g.view) with
       | Joining _, _ -> remove_group t g
       | _, Some view when List.equal Node_id.equal view.View.members [ t.node ] -> remove_group t g
@@ -1006,17 +1077,17 @@ let leave t group =
           evaluate t g)
 
 let stop_ok t group =
-  match lookup t group with
-  | None -> ()
-  | Some g -> (
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g -> (
       match g.status with
       | Stopped { acked = false; _ } -> flush_reply t g
       | Stopped _ | Joining _ | Normal -> ())
 
 let force_flush t group =
-  match lookup t group with
-  | None -> ()
-  | Some g ->
+  match lookup_exn t group with
+  | exception Not_found -> ()
+  | g ->
       g.want_flush <- true;
       evaluate t g
 
@@ -1028,8 +1099,9 @@ let is_member t group =
   | None -> false
 
 let groups t =
-  Plwg_util.Tbl.fold_sorted ~cmp:Gid.compare
-    (fun group g acc -> if Option.is_some g.view then group :: acc else acc)
+  (* Gid.code order = Gid.compare order, so the listing is unchanged *)
+  Plwg_util.Itbl.fold_sorted
+    (fun _code g acc -> if Option.is_some g.view then g.group :: acc else acc)
     t.states []
   |> List.rev
 
@@ -1055,8 +1127,8 @@ let create ?(config = default_config) ?recorder ~transport ~detector callbacks n
       callbacks;
       recorder;
       transport;
-      states = Hashtbl.create 16;
-      seq_floor = Hashtbl.create 16;
+      states = Plwg_util.Itbl.create ();
+      seq_floor = Plwg_util.Itbl.create ();
       gid_counter = 0;
     }
   in
@@ -1089,14 +1161,14 @@ let create ?(config = default_config) ?recorder ~transport ~detector callbacks n
       | Hw_stable { group; view_id; from; delivered } -> handle_stable t ~group ~view_id ~from ~delivered
       | _ -> ());
   Detector.on_change detector (fun _peer _status ->
-      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare (fun _ g -> evaluate t g) t.states);
+      Plwg_util.Itbl.iter_sorted (fun _ g -> evaluate t g) t.states);
   (* Timers pending when this node crashed were silently skipped, so an
      in-flight change may have lost its deadline timer.  On recovery,
      close it (pairing its Flush_begin) and re-evaluate every group so
      membership restarts from current reachability. *)
   Engine.on_recover engine node (fun () ->
-      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare
+      Plwg_util.Itbl.iter_sorted
         (fun _ g -> match g.change with Some change -> cancel_change t g change ~outcome:"recovered" | None -> ())
         t.states;
-      Plwg_util.Tbl.iter_sorted ~cmp:Gid.compare (fun _ g -> evaluate t g) t.states);
+      Plwg_util.Itbl.iter_sorted (fun _ g -> evaluate t g) t.states);
   t

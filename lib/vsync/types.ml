@@ -20,7 +20,26 @@ module Gid = struct
 
   let equal a b = compare a b = 0
   let pp ppf t = Format.fprintf ppf "g%d.%a" t.seq Node_id.pp t.origin
-  let to_string t = Format.asprintf "%a" pp t
+
+  (* Bijective int packing, seq-major: since [compare] orders by seq then
+     origin and both components are non-negative, [Int.compare] on codes
+     equals [compare] on ids — codes are safe as sorted-iteration keys.
+     Allocation-free, unlike a first-seen intern table (whose numbering
+     would depend on processing history and break determinism checks). *)
+  let origin_bits = 16
+
+  let code t =
+    if not (Int.equal (t.origin lsr origin_bits) 0) then invalid_arg "Gid.code: origin out of range";
+    (t.seq lsl origin_bits) lor t.origin
+
+  let of_code c = { seq = c lsr origin_bits; origin = c land ((1 lsl origin_bits) - 1) }
+
+  let render_string c =
+    let t = of_code c in
+    Format.asprintf "%a" pp t
+
+  let strings : string Plwg_util.Intern.t = Plwg_util.Intern.create ()
+  let to_string t = Plwg_util.Intern.intern strings (code t) render_string
 
   module Map = Map.Make (Ord)
   module Set = Set.Make (Ord)
@@ -43,7 +62,22 @@ module View_id = struct
 
   let equal a b = compare a b = 0
   let pp ppf t = Format.fprintf ppf "v%d@%a" t.seq Node_id.pp t.coord
-  let to_string t = Format.asprintf "%a" pp t
+
+  (* Same seq-major packing as {!Gid.code}: int order = [compare] order. *)
+  let coord_bits = 16
+
+  let code t =
+    if not (Int.equal (t.coord lsr coord_bits) 0) then invalid_arg "View_id.code: coord out of range";
+    (t.seq lsl coord_bits) lor t.coord
+
+  let of_code c = { seq = c lsr coord_bits; coord = c land ((1 lsl coord_bits) - 1) }
+
+  let render_string c =
+    let t = of_code c in
+    Format.asprintf "%a" pp t
+
+  let strings : string Plwg_util.Intern.t = Plwg_util.Intern.create ()
+  let to_string t = Plwg_util.Intern.intern strings (code t) render_string
 
   module Map = Map.Make (Ord)
   module Set = Set.Make (Ord)

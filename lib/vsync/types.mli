@@ -13,7 +13,18 @@ module Gid : sig
   val compare : t -> t -> int
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+
+  val code : t -> int
+  (** Bijective int packing (seq-major).  [Int.compare] on codes equals
+      {!compare} on ids, so codes serve as allocation-free hashtable and
+      sorted-iteration keys.  Raises [Invalid_argument] if the origin
+      does not fit 16 bits. *)
+
+  val of_code : int -> t
+
   val to_string : t -> string
+  (** Interned: each distinct id is rendered once and the same string is
+      returned afterwards — cheap enough for trace/log boundaries. *)
 
   module Map : Map.S with type key = t
   module Set : Set.S with type elt = t
@@ -27,7 +38,16 @@ module View_id : sig
   val compare : t -> t -> int
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+
+  val code : t -> int
+  (** Same seq-major packing as {!Gid.code}: int order = {!compare}
+      order.  Raises [Invalid_argument] if the coordinator id does not
+      fit 16 bits. *)
+
+  val of_code : int -> t
+
   val to_string : t -> string
+  (** Interned, as {!Gid.to_string}. *)
 
   module Map : Map.S with type key = t
   module Set : Set.S with type elt = t

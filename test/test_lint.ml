@@ -96,6 +96,29 @@ let has_mli_quiet () =
   in
   Alcotest.(check (list string)) "mli present" [] (rules_of findings)
 
+let gid_string_fires = check_fires "gid-string-boundary" "let f gid = String.length (Gid.to_string gid)"
+let view_id_string_fires = check_fires "gid-string-boundary" "let f xs = List.map View_id.to_string xs"
+
+let gid_string_qualified_fires =
+  check_fires "gid-string-boundary" "let f gid = Plwg_vsync.Types.Gid.to_string gid"
+
+let gid_string_in_trace_quiet =
+  check_quiet "let f t gid = Engine.trace t.engine (fun () -> Event.Installed { group = Gid.to_string gid })"
+
+let gid_string_in_logs_quiet =
+  check_quiet {|let f gid = Logs.debug (fun m -> m "group %s" (Gid.to_string gid))|}
+
+let gid_string_in_printer_quiet =
+  check_quiet
+    "let () = Payload.register_printer (function Msg g -> Some (Gid.to_string g) | _ -> None)"
+
+let gid_string_outside_lib_quiet () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:false ~has_mli:true ~path:"test/fixture.ml"
+      "let f gid = String.length (Gid.to_string gid)"
+  in
+  Alcotest.(check (list string)) "test code exempt" [] (rules_of findings)
+
 (* ---------------- suppressions ---------------- *)
 
 let suppression_honored =
@@ -210,6 +233,13 @@ let suite =
     Alcotest.test_case "transition functions are quiet" `Quick lstate_transition_quiet;
     Alcotest.test_case "missing mli fires" `Quick missing_mli_fires;
     Alcotest.test_case "present mli is quiet" `Quick has_mli_quiet;
+    Alcotest.test_case "gid to_string fires" `Quick gid_string_fires;
+    Alcotest.test_case "view-id to_string fires" `Quick view_id_string_fires;
+    Alcotest.test_case "qualified gid to_string fires" `Quick gid_string_qualified_fires;
+    Alcotest.test_case "to_string in trace thunk is quiet" `Quick gid_string_in_trace_quiet;
+    Alcotest.test_case "to_string in Logs is quiet" `Quick gid_string_in_logs_quiet;
+    Alcotest.test_case "to_string in payload printer is quiet" `Quick gid_string_in_printer_quiet;
+    Alcotest.test_case "to_string outside lib is quiet" `Quick gid_string_outside_lib_quiet;
     Alcotest.test_case "suppression honored" `Quick suppression_honored;
     Alcotest.test_case "suppression is rule-specific" `Quick suppression_wrong_rule;
     Alcotest.test_case "allow all" `Quick suppression_all;

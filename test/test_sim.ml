@@ -219,6 +219,62 @@ let test_engine_stats () =
   Alcotest.(check int) "delivered" 1 stats.Engine.delivered;
   Alcotest.(check int) "unreachable dropped" 1 stats.Engine.unreachable_dropped
 
+(* Regressions pinning timer-cancellation semantics across the
+   heap->wheel swap.  The heap tolerated stale/cancelled entries popping
+   late (a [cancelled] ref consulted at dispatch); the wheel must make
+   cancelled events impossible to fire while keeping stale cancels
+   harmless. *)
+
+let test_timer_cancel_from_earlier_timer () =
+  let engine = make () in
+  let fired = ref false in
+  let cancel_b = ref (fun () -> ()) in
+  let (_ : Engine.cancel) =
+    Engine.after engine (Time.ms 5) (fun () -> !cancel_b ())
+  in
+  cancel_b := Engine.after engine (Time.ms 10) (fun () -> fired := true);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check bool) "timer cancelled mid-run never fires" false !fired
+
+let test_timer_cancel_same_instant () =
+  let engine = make () in
+  let log = ref [] in
+  let cancel_b = ref (fun () -> ()) in
+  let (_ : Engine.cancel) =
+    Engine.after engine (Time.ms 5) (fun () ->
+        log := "a" :: !log;
+        !cancel_b ())
+  in
+  cancel_b := Engine.after engine (Time.ms 5) (fun () -> log := "b" :: !log);
+  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> log := "c" :: !log) in
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check (list string)) "co-scheduled cancelled timer skipped, rest fire" [ "a"; "c" ] (List.rev !log)
+
+let test_timer_stale_cancel_after_fire () =
+  let engine = make () in
+  let first = ref false and second = ref false in
+  let cancel_first = Engine.after engine (Time.ms 5) (fun () -> first := true) in
+  Engine.run engine ~until:(Time.ms 20);
+  Alcotest.(check bool) "first fired" true !first;
+  (* the new timer reuses the pooled slot the first one occupied *)
+  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> second := true) in
+  cancel_first ();
+  cancel_first ();
+  Engine.run engine ~until:(Time.ms 40);
+  Alcotest.(check bool) "stale cancel cannot kill the slot's new occupant" true !second
+
+let test_in_flight_accounting () =
+  let engine = make () in
+  Engine.subscribe engine 1 (fun ~src:_ _ -> ());
+  for i = 1 to 5 do
+    Engine.send engine ~src:0 ~dst:1 (Ping i)
+  done;
+  Alcotest.(check int) "all sends in flight" 5 (Engine.in_flight engine);
+  Engine.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "drained" 0 (Engine.in_flight engine);
+  let stats = Engine.stats engine in
+  Alcotest.(check int) "fault-free: sent = delivered" stats.Engine.sent stats.Engine.delivered
+
 let test_run_until_idle () =
   let engine = make () in
   let fired = ref false in
@@ -251,5 +307,9 @@ let suite =
     Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs;
     Alcotest.test_case "fault script" `Quick test_fault_script;
     Alcotest.test_case "engine stats" `Quick test_engine_stats;
+    Alcotest.test_case "timer cancel from earlier timer" `Quick test_timer_cancel_from_earlier_timer;
+    Alcotest.test_case "timer cancel at same instant" `Quick test_timer_cancel_same_instant;
+    Alcotest.test_case "stale cancel after fire" `Quick test_timer_stale_cancel_after_fire;
+    Alcotest.test_case "in-flight accounting" `Quick test_in_flight_accounting;
     Alcotest.test_case "run until idle" `Quick test_run_until_idle;
   ]

@@ -305,6 +305,209 @@ let prop_seqbuf_matches_list_model =
       done;
       !ok)
 
+(* --- Wheel vs the heap it replaced ------------------------------- *)
+
+let none = min_int
+
+let drain_wheel wheel ~limit =
+  let rec go acc =
+    let v = Wheel.pop_or wheel ~limit ~none in
+    if v = none then List.rev acc else go (v :: acc)
+  in
+  go []
+
+let test_wheel_basic () =
+  let wheel = Wheel.create ~dummy:none () in
+  Alcotest.(check bool) "empty" true (Wheel.is_empty wheel);
+  Wheel.schedule wheel ~tick:50 1;
+  Wheel.schedule wheel ~tick:10 2;
+  Wheel.schedule wheel ~tick:50 3;
+  Wheel.schedule wheel ~tick:70_000 4;
+  Alcotest.(check int) "length" 4 (Wheel.length wheel);
+  Alcotest.(check (list int)) "nothing before tick 10" [] (drain_wheel wheel ~limit:9);
+  Alcotest.(check (list int)) "tick order, FIFO within tick" [ 2; 1; 3 ] (drain_wheel wheel ~limit:60);
+  Alcotest.(check int) "cursor parked at limit" 60 (Wheel.cur wheel);
+  Alcotest.(check (list int)) "far event after cascade" [ 4 ] (drain_wheel wheel ~limit:100_000);
+  Alcotest.(check bool) "drained" true (Wheel.is_empty wheel)
+
+let test_wheel_cancel_never_fires () =
+  let wheel = Wheel.create ~dummy:none () in
+  Wheel.schedule wheel ~tick:5 1;
+  let h = Wheel.schedule_handle wheel ~tick:5 2 in
+  Wheel.schedule wheel ~tick:5 3;
+  let far = Wheel.schedule_handle wheel ~tick:1_000_000 4 in
+  Alcotest.(check (option int)) "cancel returns value" (Some 2) (Wheel.cancel wheel h);
+  Alcotest.(check (option int)) "cancel idempotent" None (Wheel.cancel wheel h);
+  Alcotest.(check (option int)) "cancel far (still in upper level)" (Some 4) (Wheel.cancel wheel far);
+  Alcotest.(check (list int)) "cancelled events never pop" [ 1; 3 ] (drain_wheel wheel ~limit:2_000_000)
+
+(* Regression for the heap->wheel swap: a cancel handle that outlives
+   its event must not kill the node's next occupant after pool reuse.
+   The old heap tolerated stale cancels because cancellation was a
+   [cancelled] ref read at dispatch; the wheel pins the same behavior
+   with generation stamps. *)
+let test_wheel_stale_cancel_after_reuse () =
+  let wheel = Wheel.create ~dummy:none () in
+  let h = Wheel.schedule_handle wheel ~tick:10 1 in
+  Alcotest.(check (list int)) "fires" [ 1 ] (drain_wheel wheel ~limit:20);
+  Wheel.schedule wheel ~tick:30 2 (* reuses the pooled node *);
+  Alcotest.(check int) "node reused, none allocated" 1 (Wheel.allocated wheel);
+  Alcotest.(check (option int)) "stale cancel is a no-op" None (Wheel.cancel wheel h);
+  Alcotest.(check (list int)) "new occupant survives stale cancel" [ 2 ] (drain_wheel wheel ~limit:40)
+
+let test_wheel_pool_reuse () =
+  let wheel = Wheel.create ~dummy:none () in
+  for round = 0 to 99 do
+    let base = round * 1000 in
+    for i = 0 to 9 do
+      Wheel.schedule wheel ~tick:(base + i) i
+    done;
+    Alcotest.(check int) "all pop" 10 (List.length (drain_wheel wheel ~limit:(base + 100)))
+  done;
+  Alcotest.(check int) "pool capped at burst size" 10 (Wheel.allocated wheel);
+  Alcotest.(check int) "all nodes back in pool" 10 (Wheel.pooled wheel)
+
+(* Same schedule/cancel/pop sequence against the old heap ordered by
+   (tick, seq): pop order must be identical, including events landing in
+   upper wheel levels, same-tick FIFO ties, cancellations, and the
+   occasional past-tick (overdue) schedule. *)
+let prop_wheel_matches_heap_model =
+  QCheck.Test.make ~name:"wheel: random schedule/cancel sequence matches heap model" ~count:150
+    QCheck.(pair (int_bound 100_000) (int_range 1 120))
+    (fun (seed, n_rounds) ->
+      let rng = Rng.create ~seed in
+      let wheel = Wheel.create ~dummy:none () in
+      let heap = Heap.create ~cmp:(fun (t1, s1, _) (t2, s2, _) -> if t1 <> t2 then Int.compare t1 t2 else Int.compare s1 s2) in
+      let cancelled = Hashtbl.create 16 in
+      let handles = ref [] in
+      let seq = ref 0 in
+      let next_id = ref 0 in
+      let limit = ref 0 in
+      let ok = ref true in
+      for _ = 1 to n_rounds do
+        (* a burst of schedules at mixed horizons *)
+        for _ = 1 to Rng.int rng 8 do
+          let delta =
+            match Rng.int rng 6 with
+            | 0 -> Rng.int rng 16 (* level 0 *)
+            | 1 -> Rng.int rng 4_096 (* levels 0-1 *)
+            | 2 -> Rng.int rng 1_000_000 (* levels 1-2 *)
+            | 3 -> Rng.int rng 200_000_000 (* levels 3-4 *)
+            | 4 -> -Rng.int rng 50 (* overdue *)
+            | _ -> Rng.int rng 40 (* tick collisions for FIFO ties *)
+          in
+          let tick = max 0 (Wheel.cur wheel + delta) in
+          let id = !next_id in
+          incr next_id;
+          incr seq;
+          Heap.push heap (tick, !seq, id);
+          if Rng.int rng 3 = 0 then handles := (id, Wheel.schedule_handle wheel ~tick id) :: !handles
+          else Wheel.schedule wheel ~tick id
+        done;
+        (* cancel a remembered handle now and then, possibly twice *)
+        (match !handles with
+        | (id, h) :: rest when Rng.int rng 3 = 0 ->
+            (match Wheel.cancel wheel h with
+            | Some v ->
+                ok := !ok && v = id;
+                Hashtbl.replace cancelled id ()
+            | None -> () (* already popped or already cancelled: heap model keeps it *));
+            if Rng.int rng 2 = 0 then ok := !ok && Wheel.cancel wheel h = None;
+            handles := rest
+        | _ -> ());
+        (* advance the horizon and compare full pop sequences *)
+        limit := !limit + Rng.int rng 3_000_000;
+        let got = drain_wheel wheel ~limit:!limit in
+        let rec model acc =
+          match Heap.peek heap with
+          | Some (t, _, id) when t <= !limit ->
+              ignore (Heap.pop heap);
+              if Hashtbl.mem cancelled id then model acc else model (id :: acc)
+          | _ -> List.rev acc
+        in
+        let want = model [] in
+        ok := !ok && got = want
+      done;
+      let pending_cancelled =
+        List.length (List.filter (fun (_, _, id) -> Hashtbl.mem cancelled id) (Heap.to_list heap))
+      in
+      !ok && Wheel.length wheel = Heap.size heap - pending_cancelled)
+
+(* --- Intern table ------------------------------------------------ *)
+
+let test_itbl_basic () =
+  let t = Itbl.create () in
+  Alcotest.(check int) "empty" 0 (Itbl.length t);
+  Itbl.replace t 7 "a";
+  Itbl.replace t 7 "b";
+  Itbl.replace t 0 "z";
+  Alcotest.(check int) "replace rebinds" 2 (Itbl.length t);
+  Alcotest.(check (option string)) "find_opt hit" (Some "b") (Itbl.find_opt t 7);
+  Alcotest.(check string) "find hit" "z" (Itbl.find t 0);
+  Alcotest.(check (option string)) "find_opt miss" None (Itbl.find_opt t 3);
+  Alcotest.(check (option string)) "negative key is never bound" None (Itbl.find_opt t (-1));
+  Alcotest.check_raises "find miss" Not_found (fun () -> ignore (Itbl.find t 3));
+  Itbl.remove t 7;
+  Alcotest.(check bool) "removed" false (Itbl.mem t 7);
+  Alcotest.(check (list (pair int string))) "sorted bindings" [ (0, "z") ] (Itbl.bindings_sorted t)
+
+let prop_itbl_matches_hashtbl_model =
+  QCheck.Test.make ~name:"itbl: random op sequence matches Hashtbl model" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_range 1 400))
+    (fun (seed, n_ops) ->
+      let rng = Rng.create ~seed in
+      let t = Itbl.create () in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      for _ = 1 to n_ops do
+        (* small key range so rebinding, removal and tombstone reuse all
+           happen; large enough to force several resizes *)
+        let key = Rng.int rng 120 in
+        match Rng.int rng 8 with
+        | 0 | 1 | 2 | 3 -> (
+            let v = Rng.int rng 1000 in
+            Itbl.replace t key v;
+            match Hashtbl.find_opt model key with
+            | Some _ -> Hashtbl.replace model key v
+            | None -> Hashtbl.add model key v)
+        | 4 | 5 ->
+            Itbl.remove t key;
+            Hashtbl.remove model key
+        | 6 -> ok := !ok && Itbl.mem t key = Hashtbl.mem model key
+        | _ -> ok := !ok && Itbl.find_opt t key = Hashtbl.find_opt model key
+      done;
+      let model_sorted =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+      in
+      !ok
+      && Itbl.length t = Hashtbl.length model
+      && Itbl.bindings_sorted t = model_sorted
+      && Itbl.fold_sorted (fun k v acc -> (k, v) :: acc) t [] = List.rev model_sorted)
+
+let test_intern_round_trip () =
+  let t = Intern.create () in
+  let renders = ref 0 in
+  let render c =
+    incr renders;
+    Printf.sprintf "id-%d" c
+  in
+  let a = Intern.intern t 42 render in
+  let b = Intern.intern t 42 render in
+  Alcotest.(check string) "round trip" "id-42" a;
+  Alcotest.(check bool) "hit returns the same physical string" true (a == b);
+  Alcotest.(check int) "rendered once" 1 !renders;
+  Alcotest.(check (option string)) "find" (Some "id-42") (Intern.find t 42);
+  Alcotest.(check (option string)) "find miss" None (Intern.find t 7);
+  Alcotest.(check bool) "mem" true (Intern.mem t 42)
+
+let test_intern_stable_order () =
+  let t = Intern.create () in
+  let render c = string_of_int c in
+  List.iter (fun c -> ignore (Intern.intern t c render)) [ 9; 3; 7; 3; 9; 1 ];
+  Alcotest.(check (list int)) "first-interned order, duplicates ignored" [ 9; 3; 7; 1 ] (Intern.codes t);
+  Alcotest.(check (list int)) "codes stable across calls" (Intern.codes t) (Intern.codes t);
+  Alcotest.(check int) "count" 4 (Intern.count t)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -330,4 +533,13 @@ let suite =
     Alcotest.test_case "seqbuf basic" `Quick test_seqbuf_basic;
     QCheck_alcotest.to_alcotest prop_deque_matches_list_model;
     QCheck_alcotest.to_alcotest prop_seqbuf_matches_list_model;
+    Alcotest.test_case "wheel basic" `Quick test_wheel_basic;
+    Alcotest.test_case "wheel cancel never fires" `Quick test_wheel_cancel_never_fires;
+    Alcotest.test_case "wheel stale cancel after reuse" `Quick test_wheel_stale_cancel_after_reuse;
+    Alcotest.test_case "wheel pool reuse" `Quick test_wheel_pool_reuse;
+    QCheck_alcotest.to_alcotest prop_wheel_matches_heap_model;
+    Alcotest.test_case "itbl basic" `Quick test_itbl_basic;
+    QCheck_alcotest.to_alcotest prop_itbl_matches_hashtbl_model;
+    Alcotest.test_case "intern round trip" `Quick test_intern_round_trip;
+    Alcotest.test_case "intern stable order" `Quick test_intern_stable_order;
   ]
