@@ -1,0 +1,79 @@
+(* plwg-lint-typed driver: walks the compiled .cmt typedtrees and
+   enforces the typed rule half of the catalog — poly-compare at
+   protocol types, hot-path allocation, domain-safety ownership.
+
+     dune exec bin/plwg_lint_typed.exe -- [ROOTS...] [options]
+
+   The roots are source roots ("lib"); when a root has no cmts (run
+   from the project checkout rather than an alias rule) the engine
+   falls back to _build/default/<root>, so the libraries must have
+   been built first.
+
+   Exit codes: 0 clean, 1 findings at error severity or a stale
+   domain-safety report, 2 usage/environment errors. *)
+
+open Cmdliner
+
+let roots_arg =
+  let doc = "Source roots whose .cmt files to analyze." in
+  Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"ROOT" ~doc)
+
+let format_arg =
+  let doc = "Output format: human or json." in
+  Arg.(value & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human & info [ "format" ] ~docv:"FMT" ~doc)
+
+let werror_arg = Arg.(value & flag & info [ "werror" ] ~doc:"Treat every finding as an error (the @lint-typed alias does).")
+
+let domain_out_arg =
+  let doc = "Write the domain-safety cell report (plwg-domain-safety/1) to $(docv) and continue." in
+  Arg.(value & opt (some string) None & info [ "domain-safety" ] ~docv:"FILE" ~doc)
+
+let domain_check_arg =
+  let doc = "Fail unless $(docv) is byte-identical to the freshly computed domain-safety report." in
+  Arg.(value & opt (some string) None & info [ "check-domain-safety" ] ~docv:"FILE" ~doc)
+
+let run roots format werror domain_out domain_check =
+  match Tlint_engine.run ~roots with
+  | Error msg ->
+      prerr_endline ("plwg-lint-typed: " ^ msg);
+      2
+  | Ok r ->
+      let report = Tlint_domain.render r.cells in
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc report);
+          Printf.printf "plwg-lint-typed: wrote %d cell(s) to %s\n" (List.length r.cells) file)
+        domain_out;
+      let stale =
+        match domain_check with
+        | None -> false
+        | Some file -> (
+            match In_channel.with_open_bin file In_channel.input_all with
+            | exception Sys_error msg ->
+                Printf.eprintf "plwg-lint-typed: cannot read %s: %s\n" file msg;
+                true
+            | actual when String.equal actual report -> false
+            | _ ->
+                Printf.eprintf
+                  "plwg-lint-typed: %s is stale; regenerate with --domain-safety %s\n" file file;
+                true)
+      in
+      (match format with
+      | `Human ->
+          Lint_report.print_human stdout ~werror r.findings;
+          Printf.printf "plwg-lint-typed: %d unit(s), %d hot binding(s), %d cell(s), %d finding(s)%s\n"
+            r.units r.hot_bindings (List.length r.cells) (List.length r.findings)
+            (match Lint_report.summary r.findings with
+            | [] -> ""
+            | counts ->
+                ": " ^ String.concat ", " (List.map (fun (rule, n) -> Printf.sprintf "%s %d" rule n) counts))
+      | `Json -> print_endline (Plwg_obs.Json.to_string (Lint_report.to_json ~werror r.findings)));
+      if Lint_report.any_error ~werror r.findings || stale then 1 else 0
+
+let cmd =
+  let doc = "Typed (cmt-based) linter for the plwg tree." in
+  Cmd.v
+    (Cmd.info "plwg_lint_typed" ~doc)
+    Term.(const run $ roots_arg $ format_arg $ werror_arg $ domain_out_arg $ domain_check_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -60,6 +60,7 @@ let sweep t =
       if heard < 0 || Time.diff now heard > t.config.timeout then mark_unreachable t peer
     end
   done
+[@@zero_alloc_hot]
 
 let tick t =
   if Topology.is_alive (Engine.topology t.engine) t.node then begin

@@ -433,7 +433,9 @@ type report = { runs : int; verdicts : verdict list (* chronological *) }
 
 let failed report = List.filter (fun v -> v.failures <> []) report.verdicts
 
-let mode_rotation = [| Stack.Dynamic; Stack.Static; Stack.Direct |]
+let mode_rotation =
+  [| Stack.Dynamic; Stack.Static; Stack.Direct |]
+[@@shared_cell "read-only rotation table: written nowhere after initialisation"]
 
 let campaign ?metrics ?on_trace ?(on_verdict = fun _ -> ()) ?(check_determinism = false) ~seed ~runs profile =
   let verdicts = ref [] in

@@ -20,29 +20,52 @@ let parse ~path source =
 (* Message families                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Extension constructors (type Payload.t += ...) grouped by their
-   prefix up to the first underscore: L_data and L_view share family
-   "L_"; a name without an underscore is its own family.  A dispatch
-   that names any constructor of a family and ends in a catch-all must
-   name all of them — the catch-all is then only for foreign payloads. *)
+(* Constructors grouped by their prefix up to the first underscore:
+   L_data and L_view share family "L_"; a name without an underscore is
+   its own family.  A dispatch that names any constructor of a family
+   and ends in a catch-all must name all of them — the catch-all is
+   then only for foreign payloads.
+
+   Two declaration forms feed the family table: every extension
+   constructor (type Payload.t += ...), and the constructors of an
+   ordinary variant declared [@@message_family] — protocol enums like
+   Messages.lineage whose dispatches must stay exhaustive even behind
+   a catch-all. *)
 
 type families = StringSet.t StringMap.t
 
 let family_prefix name =
   match String.index_opt name '_' with Some i -> String.sub name 0 (i + 1) | None -> name
 
+let is_message_family_attr (attr : attribute) =
+  match attr.attr_name.txt with "message_family" | "plwg.message_family" -> true | _ -> false
+
+let add_family_constructor ~fam cname acc =
+  let set = Option.value ~default:StringSet.empty (StringMap.find_opt fam acc) in
+  StringMap.add fam (StringSet.add cname set) acc
+
+(* An annotated variant is keyed by its type name, not the prefix: its
+   constructors may share a prefix with an unrelated extension family
+   (lineage's L_continuous vs the payload L_* messages) and must not
+   widen that family's exhaustiveness obligation. *)
 let collect_families structure acc =
   List.fold_left
     (fun acc item ->
       match item.pstr_desc with
       | Pstr_typext te ->
           List.fold_left
-            (fun acc ec ->
-              let cname = ec.pext_name.txt in
-              let fam = family_prefix cname in
-              let set = Option.value ~default:StringSet.empty (StringMap.find_opt fam acc) in
-              StringMap.add fam (StringSet.add cname set) acc)
+            (fun acc ec -> add_family_constructor ~fam:(family_prefix ec.pext_name.txt) ec.pext_name.txt acc)
             acc te.ptyext_constructors
+      | Pstr_type (_, decls) ->
+          List.fold_left
+            (fun acc decl ->
+              match decl.ptype_kind with
+              | Ptype_variant constructors when List.exists is_message_family_attr decl.ptype_attributes ->
+                  List.fold_left
+                    (fun acc cd -> add_family_constructor ~fam:decl.ptype_name.txt cd.pcd_name.txt acc)
+                    acc constructors
+              | _ -> acc)
+            acc decls
       | _ -> acc)
     acc structure
 
@@ -59,63 +82,6 @@ let longident_name lid = String.concat "." (longident_segments lid)
 
 let last_segment lid =
   match List.rev (longident_segments lid) with last :: _ -> last | [] -> ""
-
-let contains_sub haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
-
-(* Name fragments that mark an expression as protocol-typed for the
-   polymorphic-comparison heuristic: views, view/group/node identifiers,
-   naming mappings, carrier lineage and the node roles derived from
-   them.  Matching is on lowercased identifier/field/constructor names
-   appearing anywhere inside either operand. *)
-let protocol_markers =
-  [
-    "view";
-    "vid";
-    "gid";
-    "lwg";
-    "hwg";
-    "carrier";
-    "mapping";
-    "lineage";
-    "member";
-    "node";
-    "coord";
-    "sender";
-    "origin";
-    "joiner";
-    "leaver";
-    "peer";
-    "l_continuous";
-    "l_cut";
-    "l_rejoined";
-  ]
-
-let marker_of_name name =
-  let lower = String.lowercase_ascii name in
-  List.find_opt (fun marker -> contains_sub lower marker) protocol_markers
-
-let markers_of_longident lid = List.filter_map marker_of_name (longident_segments lid)
-
-let protocol_marker_of_expr expr =
-  let found = ref None in
-  let note = function [] -> () | marker :: _ -> if Option.is_none !found then found := Some marker in
-  let it =
-    object
-      inherit Ast_traverse.iter as super
-
-      method! expression e =
-        (match e.pexp_desc with
-        | Pexp_ident lid | Pexp_construct (lid, _) -> note (markers_of_longident lid.txt)
-        | Pexp_field (_, lid) -> note (markers_of_longident lid.txt)
-        | _ -> ());
-        if Option.is_none !found then super#expression e
-    end
-  in
-  it#expression expr;
-  !found
 
 (* ------------------------------------------------------------------ *)
 (* Rule tables                                                         *)
@@ -243,11 +209,14 @@ let check_dispatch ctx loc cases =
         if not (StringSet.is_empty named_in_fam) then begin
           let missing = StringSet.diff constructors named_in_fam in
           if not (StringSet.is_empty missing) then
+            (* a trailing '_' marks a prefix family; anything else is a
+               [@@message_family] type name *)
+            let display = if String.ends_with ~suffix:"_" fam then fam ^ "*" else fam in
             add ctx Lint_rules.Dispatch_wildcard loc
               (Printf.sprintf
-                 "dispatch on the %s* message family has a catch-all but does not name: %s (the wildcard must only \
+                 "dispatch on the %s message family has a catch-all but does not name: %s (the wildcard must only \
                   cover foreign payloads)"
-                 fam
+                 display
                  (String.concat ", " (StringSet.elements missing)))
         end)
       ctx.families
@@ -281,15 +250,6 @@ let check_ident ctx loc path ~applied ~in_string_boundary =
     add ctx Lint_rules.Random_outside_rng loc
       (Printf.sprintf "%s draws from ambient global state; draw from the schedule's Plwg_util.Rng" path)
 
-let check_poly_apply ctx loc op a b =
-  let describe_operand expr = match protocol_marker_of_expr expr with Some m -> Some m | None -> None in
-  match (describe_operand a, describe_operand b) with
-  | None, None -> ()
-  | Some marker, _ | _, Some marker ->
-      add ctx Lint_rules.Poly_compare_protocol loc
-        (Printf.sprintf
-           "polymorphic %s on a protocol value (operand mentions %S); use the type's equal/compare" op marker)
-
 let lint_ast ctx structure =
   let mutable_labels = mutable_labels_of_structure structure in
   let it =
@@ -311,13 +271,11 @@ let lint_ast ctx structure =
         match e.pexp_desc with
         | Pexp_ident lid -> check_ident ctx e.pexp_loc (longident_name lid.txt) ~applied:was_fn ~in_string_boundary
         | Pexp_apply (fn, args) ->
-            (match (fn.pexp_desc, args) with
-            | Pexp_ident lid, [ (_, a); (_, b) ] -> (
-                match longident_name lid.txt with
-                | "=" | "<>" -> check_poly_apply ctx e.pexp_loc (longident_name lid.txt) a b
-                | "compare" | "Stdlib.compare" -> check_poly_apply ctx e.pexp_loc "compare" a b
-                | _ -> ())
-            | _ -> ());
+            (* Applied [=]/[compare] at protocol types is the typed
+               engine's poly-compare-protocol check, which sees the
+               instantiated type instead of guessing from identifier
+               names; here only the value-position [compare] and
+               [Hashtbl.hash] checks in [check_ident] remain. *)
             fn_pos <- true;
             self#expression fn;
             fn_pos <- false;

@@ -8,9 +8,10 @@ exception Parse_failure of string * string
 (** [(path, message)] — the file does not parse as an implementation. *)
 
 type families = StringSet.t StringMap.t
-(** Extension constructors grouped by name prefix up to the first
-    underscore (["L_"], ["Ns_"], ...) — the message families the
-    dispatch rule checks against. *)
+(** Constructors grouped by name prefix up to the first underscore
+    (["L_"], ["Ns_"], ...) — the message families the dispatch rule
+    checks against.  Fed by every extension constructor and by ordinary
+    variants declared [\@\@message_family]. *)
 
 val parse : path:string -> string -> Ppxlib.structure
 (** @raise Parse_failure on syntax errors. *)

@@ -13,13 +13,19 @@ let severity ~werror (f : Lint_rules.finding) =
 
 let severity_name = function Lint_rules.Error -> "error" | Lint_rules.Warning -> "warning"
 
+(* Both emitters re-sort into the canonical (file, line, col, rule,
+   message) order: callers filter findings through the baseline and
+   suppression layers, and those must never be able to perturb report
+   order. *)
+let canonical findings = List.sort Lint_rules.compare_finding findings
+
 let print_human oc ~werror findings =
   List.iter
     (fun (f : Lint_rules.finding) ->
       Printf.fprintf oc "%s:%d:%d: %s [%s] %s\n" f.file f.line f.col
         (severity_name (severity ~werror f))
         (Lint_rules.name f.rule) f.message)
-    findings
+    (canonical findings)
 
 (* Per-rule counts in catalog order, zero-count rules omitted. *)
 let summary findings =
@@ -32,6 +38,7 @@ let summary findings =
 let report_schema = "plwg-lint-report/1"
 
 let to_json ~werror findings =
+  let findings = canonical findings in
   Json.Obj
     [
       ("schema", Json.Str report_schema);

@@ -8,7 +8,15 @@
    protocol — local invariants of the paper's machinery that the type
    checker cannot see (dispatches that silently swallow a newly added
    message constructor, LWG state mutated outside a designated
-   transition function, public modules without an interface). *)
+   transition function, public modules without an interface).
+
+   Two rules are emitted only by the typed (cmt-walking) engine in
+   lib/lint/typed/: [Shared_cell] (the domain-safety precondition map
+   for the parallel backend) and [Hot_path_alloc] (the compile-time
+   gate on the zero-allocation data plane).  [Poly_compare_protocol]
+   is emitted by both engines: the untyped pass keeps the cheap
+   name-independent checks (Hashtbl.hash, bare [compare] passed as a
+   value), the typed pass sees real protocol types. *)
 
 type id =
   | Hashtbl_iter_order
@@ -19,6 +27,8 @@ type id =
   | Lstate_mutation
   | Missing_mli
   | Gid_string_boundary
+  | Shared_cell
+  | Hot_path_alloc
 
 type severity = Warning | Error
 
@@ -41,6 +51,8 @@ let all =
     Lstate_mutation;
     Missing_mli;
     Gid_string_boundary;
+    Shared_cell;
+    Hot_path_alloc;
   ]
 
 let name = function
@@ -52,6 +64,8 @@ let name = function
   | Lstate_mutation -> "lstate-mutation"
   | Missing_mli -> "missing-mli"
   | Gid_string_boundary -> "gid-string-boundary"
+  | Shared_cell -> "shared-cell"
+  | Hot_path_alloc -> "hot-path-alloc"
 
 let of_name n = List.find_opt (fun rule -> String.equal (name rule) n) all
 
@@ -78,6 +92,14 @@ let describe = function
       "group/view ids in lib/ must stay typed (Gid.t/View_id.t or their int codes); render with \
        to_string only inside trace boundaries (Engine.trace thunks, Logs, Payload.register_printer) \
        or under an audited suppression"
+  | Shared_cell ->
+      "a module-global mutable cell (ref, table, array, or a global holding a mutable-bearing \
+       type) is shared state under a parallel backend; annotate it [@@shared_cell \"reason\"] \
+       after auditing, or move it into per-node state (typed engine; see domain-safety.json)"
+  | Hot_path_alloc ->
+      "a function marked [@@zero_alloc_hot] must not allocate: no closures, boxed constructors, \
+       tuples, records, or string building in its body; hoist the allocation, pool it, or mark \
+       an audited cold branch [@alloc_ok \"reason\"] (typed engine)"
 
 let compare_finding a b =
   let by =

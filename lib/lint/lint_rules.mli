@@ -12,6 +12,12 @@ type id =
   | Gid_string_boundary
       (** [Gid.to_string]/[View_id.to_string] in lib/ code outside the
           trace boundary (Engine.trace thunks, Logs, Payload printers) *)
+  | Shared_cell
+      (** typed engine: module-global mutable cell without a
+          [\@\@shared_cell] audit annotation (domain-safety report) *)
+  | Hot_path_alloc
+      (** typed engine: allocating construct inside a
+          [\@\@zero_alloc_hot] function body *)
 
 type severity = Warning | Error
 

@@ -1,0 +1,12 @@
+(** Hot-path allocation check: walk the typed body of every
+    [@@zero_alloc_hot] binding and flag syntactically allocating
+    constructs, with [@alloc_ok]/raise/assert/trace-thunk subtrees
+    exempt.  Intraprocedural; float boxing not modeled. *)
+
+type hot = { h_name : string; h_loc : Location.t }
+
+val check : Typedtree.structure -> (Lint_rules.id * Location.t * string) list
+
+val hot_bindings : Typedtree.structure -> hot list
+(** The [@@zero_alloc_hot]-annotated bindings of a unit, in source
+    order. *)

@@ -1,0 +1,243 @@
+(* Domain-safety ownership analysis: classify every mutable cell in
+   lib/ ahead of a parallel (multi-domain) execution backend.
+
+   Cells are (a) record labels — mutable labels, plus immutable labels
+   of builtin mutable container type (an [int array] field is a mutable
+   cell even though the label is not [mutable]) — and (b) module-global
+   bindings whose type is mutable-bearing, which root state that every
+   domain can reach.
+
+   Classification, first match wins:
+
+     shared (annotation)   the label or binding carries
+                           [@shared_cell "reason"] — audited.
+     shared (unannotated)  a module-global root without the
+                           annotation; this is the lint error.
+     engine-owned          declared in a scheduler unit (Engine,
+                           Wheel, Topology): mutated only by the
+                           engine loop that owns the clock.
+     shared (root)         the cell's type is reachable from some
+                           global root, so instances may be shared
+                           via that root; the root's own annotation
+                           governs, no separate finding.
+     node-local            everything else: state inside per-node
+                           records, confined to its node's stack.
+
+   [mutated_in] is best-effort evidence: the units containing a
+   [Texp_setfield] on the label, or [:=] on the global. *)
+
+module SSet = Tlint_types.SSet
+
+type cell = {
+  c_id : string;
+  c_kind : string;  (* "field" | "global" *)
+  c_class : string;  (* "node-local" | "engine-owned" | "shared" *)
+  c_via : string;  (* "annotation" | "root" | "unannotated" | "" *)
+  c_reason : string;
+  c_file : string;
+  c_line : int;
+  c_mut : string;  (* "mutable" | "container" | "root" *)
+  c_mutated_in : string list;
+}
+
+let engine_unit = function "Engine" | "Wheel" | "Topology" -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Module-global roots                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type global = {
+  g_id : string;
+  g_unit : string;
+  g_file : string;
+  g_loc : Location.t;
+  g_heads : SSet.t;
+  g_reason : string option;
+}
+
+let globals_of_unit (u : Tlint_load.unit_info) =
+  Tlint_types.fold_items
+    (fun ~path (item : Typedtree.structure_item) acc ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc (vb : Typedtree.value_binding) ->
+              (* A type-constrained [let x : T = e] binds through
+                 [Tpat_alias], not [Tpat_var]. *)
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) | Tpat_alias (_, id, _) ->
+                  {
+                    g_id = String.concat "." ((u.u_unit :: path) @ [ Ident.name id ]);
+                    g_unit = u.u_unit;
+                    g_file = u.u_source;
+                    g_loc = vb.vb_loc;
+                    g_heads = Tlint_types.heads_of_type ~unit:u.u_unit vb.vb_pat.pat_type;
+                    g_reason = Tlint_attr.shared_cell vb.vb_attributes;
+                  }
+                  :: acc
+              | _ -> acc)
+            acc vbs
+      | _ -> acc)
+    [] u.u_str []
+  |> List.rev
+
+(* Type keys reachable from the global roots: seed with every root's
+   heads, close over declaration components. *)
+let reachable_from_roots decls roots =
+  let set = ref (List.fold_left (fun acc g -> SSet.union g.g_heads acc) SSet.empty roots) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d : Tlint_types.decl_info) ->
+        if SSet.mem d.d_key !set && not (SSet.subset d.d_components !set) then begin
+          set := SSet.union d.d_components !set;
+          changed := true
+        end)
+      decls
+  done;
+  !set
+
+(* ------------------------------------------------------------------ *)
+(* Mutation evidence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mutations_of_unit (u : Tlint_load.unit_info) tbl =
+  let note id =
+    let prev = match Hashtbl.find_opt tbl id with Some set -> set | None -> SSet.empty in
+    Hashtbl.replace tbl id (SSet.add u.u_unit prev)
+  in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_setfield (record, _, label, _) -> (
+        match Types.get_desc record.exp_type with
+        | Types.Tconstr (path, _, _) ->
+            note (Tlint_path.canon_in ~unit:u.u_unit path ^ "." ^ label.lbl_name)
+        | _ -> ())
+    | Texp_apply ({ exp_desc = Texp_ident (op, _, _); _ }, (_, Some { exp_desc = Texp_ident (target, _, _); _ }) :: _)
+      when String.equal (Tlint_path.canon op) "Stdlib.:=" ->
+        note (Tlint_path.canon_in ~unit:u.u_unit target)
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.structure iter u.u_str
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cell a b =
+  let c = String.compare a.c_id b.c_id in
+  if c <> 0 then c
+  else
+    let c = String.compare a.c_file b.c_file in
+    if c <> 0 then c else compare a.c_line b.c_line
+
+let analyze (units : Tlint_load.unit_info list) =
+  let decls =
+    List.concat_map (fun (u : Tlint_load.unit_info) -> Tlint_types.collect_decls ~unit:u.u_unit ~file:u.u_source u.u_str) units
+  in
+  let mutable_set = Tlint_types.mutable_closure decls in
+  let globals =
+    List.concat_map globals_of_unit units
+    |> List.filter (fun g -> Tlint_types.heads_mutable ~mutable_set g.g_heads)
+  in
+  let reachable = reachable_from_roots decls globals in
+  let mutated = Hashtbl.create 64 in
+  List.iter (fun u -> mutations_of_unit u mutated) units;
+  let mutated_in id =
+    match Hashtbl.find_opt mutated id with Some set -> SSet.elements set | None -> []
+  in
+  let field_cells =
+    List.concat_map
+      (fun (d : Tlint_types.decl_info) ->
+        List.filter_map
+          (fun (l : Tlint_types.label_info) ->
+            let container = Tlint_types.heads_mutable ~mutable_set l.l_heads in
+            if not (l.l_mutable || container) then None
+            else
+              let c_class, c_via, c_reason =
+                match l.l_shared_reason with
+                | Some reason -> ("shared", "annotation", reason)
+                | None ->
+                    if engine_unit d.d_unit then ("engine-owned", "", "")
+                    else if SSet.mem d.d_key reachable then ("shared", "root", "")
+                    else ("node-local", "", "")
+              in
+              Some
+                {
+                  c_id = d.d_key ^ "." ^ l.l_name;
+                  c_kind = "field";
+                  c_class;
+                  c_via;
+                  c_reason;
+                  c_file = d.d_file;
+                  c_line = l.l_line;
+                  c_mut = (if l.l_mutable then "mutable" else "container");
+                  c_mutated_in = mutated_in (d.d_key ^ "." ^ l.l_name);
+                })
+          d.d_labels)
+      decls
+  in
+  let global_cells, findings =
+    List.fold_left
+      (fun (cells, findings) g ->
+        let cell annotated reason =
+          {
+            c_id = g.g_id;
+            c_kind = "global";
+            c_class = "shared";
+            c_via = (if annotated then "annotation" else "unannotated");
+            c_reason = reason;
+            c_file = g.g_file;
+            c_line = g.g_loc.Location.loc_start.Lexing.pos_lnum;
+            c_mut = "root";
+            c_mutated_in = mutated_in g.g_id;
+          }
+        in
+        match g.g_reason with
+        | Some reason -> (cell true reason :: cells, findings)
+        | None ->
+            let message =
+              Printf.sprintf
+                "module-global mutable cell %s is shared across every node; annotate it [@@shared_cell \"reason\"] after auditing, or confine it"
+                g.g_id
+            in
+            (cell false "" :: cells, (g.g_file, Lint_rules.Shared_cell, g.g_loc, message) :: findings))
+      ([], []) globals
+  in
+  let cells = List.sort compare_cell (field_cells @ global_cells) in
+  (cells, List.rev findings)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One cell per line so the checked-in report diffs by cell; rendered
+   through Plwg_obs.Json for deterministic escaping. *)
+let render cells =
+  let open Plwg_obs in
+  let cell_json c =
+    Json.Obj
+      [
+        ("id", Json.Str c.c_id);
+        ("kind", Json.Str c.c_kind);
+        ("class", Json.Str c.c_class);
+        ("via", Json.Str c.c_via);
+        ("reason", Json.Str c.c_reason);
+        ("file", Json.Str c.c_file);
+        ("line", Json.Int c.c_line);
+        ("mutability", Json.Str c.c_mut);
+        ("mutated_in", Json.List (List.map (fun u -> Json.Str u) c.c_mutated_in));
+      ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"plwg-domain-safety/1\",\"cells\":[\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Json.to_string (cell_json c)))
+    cells;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(* The typed analysis engine: load every cmt under the roots, run the
+   three typed rules (poly-compare at protocol types, hot-path
+   allocation, domain-safety ownership), honor the same inline
+   suppression comments as the untyped engine, and return findings in
+   the catalog's canonical order plus the domain-safety cell table. *)
+
+type result_bundle = {
+  findings : Lint_rules.finding list;
+  cells : Tlint_domain.cell list;
+  units : int;  (* cmt units analyzed *)
+  hot_bindings : int;  (* [@@zero_alloc_hot] bindings checked *)
+}
+
+(* Source text is needed for two things the cmt does not carry: the
+   suppression comments, and the finding's [source_line] baseline key.
+   A unit whose source file is not present (cmt without source tree)
+   still gets findings, just with an empty source line and no
+   suppressions. *)
+type source = { s_suppress : Lint_suppress.t; s_lines : string array }
+
+let load_source =
+  let cache : (string, source) Hashtbl.t = Hashtbl.create 32 in
+  fun file ->
+    match Hashtbl.find_opt cache file with
+    | Some s -> s
+    | None ->
+        let s =
+          match In_channel.with_open_bin file In_channel.input_all with
+          | exception Sys_error _ ->
+              { s_suppress = Lint_suppress.of_source ""; s_lines = [||] }
+          | text ->
+              {
+                s_suppress = Lint_suppress.of_source text;
+                s_lines = Array.of_list (String.split_on_char '\n' text);
+              }
+        in
+        Hashtbl.add cache file s;
+        s
+
+let finding ~file (rule, (loc : Location.t), message) =
+  let line = loc.loc_start.Lexing.pos_lnum in
+  let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+  let src = load_source file in
+  let source_line =
+    if line >= 1 && line <= Array.length src.s_lines then String.trim src.s_lines.(line - 1) else ""
+  in
+  if Lint_suppress.allows src.s_suppress ~line (Lint_rules.name rule) then None
+  else Some { Lint_rules.rule; file; line; col; source_line; message }
+
+let run ~roots =
+  match Tlint_load.load ~roots with
+  | [] ->
+      Error
+        (Printf.sprintf "no .cmt files under %s — build the libraries first (dune build)"
+           (String.concat ", " roots))
+  | units ->
+      let decls =
+        List.concat_map
+          (fun (u : Tlint_load.unit_info) -> Tlint_types.collect_decls ~unit:u.u_unit ~file:u.u_source u.u_str)
+          units
+      in
+      let protocol = Tlint_types.protocol_closure decls in
+      let per_unit =
+        List.concat_map
+          (fun (u : Tlint_load.unit_info) ->
+            let raw =
+              Tlint_poly.check ~protocol ~unit:u.u_unit u.u_str @ Tlint_alloc.check u.u_str
+            in
+            List.filter_map (finding ~file:u.u_source) raw)
+          units
+      in
+      let cells, domain_raw = Tlint_domain.analyze units in
+      let domain =
+        List.filter_map (fun (file, rule, loc, message) -> finding ~file (rule, loc, message)) domain_raw
+      in
+      let findings = List.sort Lint_rules.compare_finding (per_unit @ domain) in
+      let hot_bindings =
+        List.fold_left
+          (fun acc (u : Tlint_load.unit_info) -> acc + List.length (Tlint_alloc.hot_bindings u.u_str))
+          0 units
+      in
+      Ok { findings; cells; units = List.length units; hot_bindings }

@@ -1,0 +1,15 @@
+(** The typed analysis engine: cmt loading, the three typed rules
+    (poly-compare at protocol types, hot-path allocation, domain-safety
+    ownership), inline suppressions, canonical finding order. *)
+
+type result_bundle = {
+  findings : Lint_rules.finding list;
+  cells : Tlint_domain.cell list;
+  units : int;  (** cmt units analyzed *)
+  hot_bindings : int;  (** [@@zero_alloc_hot] bindings checked *)
+}
+
+val run : roots:string list -> (result_bundle, string) result
+(** Load every cmt under the roots (falling back to
+    [_build/default/<root>]) and analyze; [Error] when no cmt is
+    found. *)

@@ -1,0 +1,69 @@
+(* Discovery and loading of the [.cmt] files the typed analyses walk.
+
+   dune leaves a cmt next to each cmo, under the library's
+   [.<lib>.objs/byte/] directory, so unlike the untyped engine's source
+   walker this one must descend into dot-directories.  The engine is
+   normally run from an alias rule whose cwd is [_build/default] (where
+   [lib/] holds both the objs dirs and — via the rule's source_tree
+   dep — the sources for suppression comments); when invoked from the
+   project root instead, each missing root falls back to
+   [_build/default/<root>]. *)
+
+type unit_info = {
+  u_path : string;  (* the cmt file itself *)
+  u_unit : string;  (* short unit name: "Intern", "Engine" *)
+  u_source : string;  (* build-context-relative source: "lib/util/intern.ml" *)
+  u_str : Typedtree.structure;
+}
+
+let rec cmts_under dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then cmts_under path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+
+let load_unit path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+      match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some source
+      (* The generated [Plwg_util.ml-gen] wrapper modules are pure
+         alias lists; nothing to analyze. *)
+        when not (Filename.check_suffix source ".ml-gen") ->
+          Some
+            {
+              u_path = path;
+              u_unit = Tlint_path.unit_of_modname cmt.cmt_modname;
+              u_source = source;
+              u_str = str;
+            }
+      | _ -> None)
+
+(* A source root holds the cmts directly when run from an alias rule
+   (cwd = _build/default); from the project checkout they live under
+   _build/default/<root> instead.  Scan whichever of the two exists —
+   both, when both do; the dedup below resolves the overlap. *)
+let resolve_root root =
+  let fallback = Filename.concat (Filename.concat "_build" "default") root in
+  List.filter (fun dir -> Sys.file_exists dir && Sys.is_directory dir) [ root; fallback ]
+
+let load ~roots =
+  let cmts = List.concat_map (fun root -> List.concat_map (fun dir -> cmts_under dir []) (resolve_root root)) roots in
+  let units = List.filter_map load_unit cmts in
+  let units = List.sort (fun a b -> String.compare a.u_source b.u_source) units in
+  (* The same unit can surface twice when roots overlap; keep the
+     first. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) when String.equal a.u_source b.u_source -> dedup (a :: List.tl rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup units

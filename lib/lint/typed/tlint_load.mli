@@ -1,0 +1,17 @@
+(** Discovery and loading of the [.cmt] files the typed analyses walk:
+    recursive scan of each root (falling back to [_build/default/<root>]
+    when run from the project root), implementation typedtrees only,
+    generated wrapper modules skipped, result sorted by source path. *)
+
+type unit_info = {
+  u_path : string;  (** the cmt file itself *)
+  u_unit : string;  (** short unit name: ["Intern"], ["Engine"] *)
+  u_source : string;  (** build-context-relative source: ["lib/util/intern.ml"] *)
+  u_str : Typedtree.structure;
+}
+
+val load_unit : string -> unit_info option
+(** Load one cmt; [None] for interfaces, packs, generated wrappers, or
+    unreadable files. *)
+
+val load : roots:string list -> unit_info list

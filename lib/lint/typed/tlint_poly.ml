@@ -1,0 +1,58 @@
+(* Typed poly-compare: flag the polymorphic structural operations when
+   their instantiated type touches a protocol type.
+
+   Every use of [=]/[compare]/[List.mem]/... — applied or passed as a
+   value — goes through a [Texp_ident] whose [exp_type] is the
+   *instantiated* scheme, so checking identifier occurrences alone
+   covers both positions uniformly: for [view = v] the identifier's
+   type is [View.t -> View.t -> bool]; for [List.sort compare views]
+   it is [View.t -> View.t -> int].  The first arrow argument is the
+   compared type; if a protocol type occurs anywhere inside it, the
+   structural traversal would compare protocol values and the
+   occurrence is flagged. *)
+
+let op_display = function
+  | "Stdlib.=" -> Some "="
+  | "Stdlib.<>" -> Some "<>"
+  | "Stdlib.<" -> Some "<"
+  | "Stdlib.>" -> Some ">"
+  | "Stdlib.<=" -> Some "<="
+  | "Stdlib.>=" -> Some ">="
+  | "Stdlib.compare" -> Some "compare"
+  | "Stdlib.min" -> Some "min"
+  | "Stdlib.max" -> Some "max"
+  | "Stdlib.Hashtbl.hash" -> Some "Hashtbl.hash"
+  | "Stdlib.List.mem" -> Some "List.mem"
+  | "Stdlib.List.assoc" -> Some "List.assoc"
+  | "Stdlib.List.assoc_opt" -> Some "List.assoc_opt"
+  | "Stdlib.List.mem_assoc" -> Some "List.mem_assoc"
+  | "Stdlib.List.remove_assoc" -> Some "List.remove_assoc"
+  | "Stdlib.Array.mem" -> Some "Array.mem"
+  | _ -> None
+
+let first_arg ty =
+  match Types.get_desc ty with Types.Tarrow (_, arg, _, _) -> Some arg | _ -> None
+
+let check ~protocol ~unit (str : Typedtree.structure) =
+  let acc = ref [] in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (path, _, _) -> (
+        match op_display (Tlint_path.canon path) with
+        | None -> ()
+        | Some op -> (
+            match Option.bind (first_arg e.exp_type) (Tlint_types.protocol_witness ~protocol ~unit) with
+            | None -> ()
+            | Some witness ->
+                let message =
+                  Printf.sprintf
+                    "polymorphic %s instantiated at protocol type %s; use keyed equality/comparison instead"
+                    op witness
+                in
+                acc := (Lint_rules.Poly_compare_protocol, e.exp_loc, message) :: !acc))
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.structure iter str;
+  List.rev !acc

@@ -1,0 +1,10 @@
+(** Typed poly-compare: every occurrence of a polymorphic structural
+    operation ([=], [compare], [List.mem], ...) whose instantiated
+    compared type contains a protocol type, in applied or value
+    position. *)
+
+val check :
+  protocol:Tlint_types.SSet.t ->
+  unit:string ->
+  Typedtree.structure ->
+  (Lint_rules.id * Location.t * string) list

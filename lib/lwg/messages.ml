@@ -20,6 +20,10 @@ type lineage =
           still holding carrier view [from] of a superseded branch *)
   | L_rejoined of Node_id.t
       (** crash recovery: a history no other node can share *)
+[@@message_family]
+(* [@@message_family]: dispatches on lineage that end in a catch-all
+   must still name every constructor — the dispatch-wildcard rule
+   treats this ordinary variant like an extension family. *)
 
 let lineage_is_continuous = function L_continuous -> true | L_cut _ | L_rejoined _ -> false
 

@@ -213,7 +213,7 @@ let[@transition] rec drain_pend_cur t (l : lstate) =
   let ready, rest =
     List.partition (fun (src, seq, _, vc, _) -> l_deliverable l ~src ~seq ~vc) l.pend_cur
   in
-  if ready <> [] then begin
+  if not (List.is_empty ready) then begin
     l.pend_cur <- rest;
     List.iter (fun (src, seq, local, _, body) -> deliver t l ~src ~seq ~local body) ready;
     drain_pend_cur t l
@@ -405,7 +405,7 @@ let finish_lflush t (l : lstate) flush =
              at this synchronisation point and ships it to the joiners;
              carrier FIFO puts it after their L_VIEW *)
           (match t.state_callbacks with
-          | Some callbacks when flush.lf_switch = None ->
+          | Some callbacks when Option.is_none flush.lf_switch ->
               let joiners = Node_id.Set.elements (Node_id.Set.diff flush.lf_new_members flush.lf_old_members) in
               if not (List.is_empty joiners) then
                 multicast_h t hwg
@@ -456,7 +456,7 @@ let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
           (* a joiner: no old traffic to drain *)
           match l.status with
           | Announcing _ | Joining_hwg | Resolving _ ->
-              if t.state_callbacks <> None && switch_to = None then
+              if Option.is_some t.state_callbacks && Option.is_none switch_to then
                 l.awaiting_state <- Some (Engine.now t.engine);
               l.status <- Draining { d_view = view; d_cut = Node_id.Map.empty; d_switch = switch_to; d_leaving = false };
               try_finish_drain t l
@@ -615,7 +615,7 @@ let[@transition] compute_merges t hs hview =
       let divergent vid =
         match holders vid with
         | [] | [ _ ] -> false
-        | (_, _, k0) :: rest -> List.exists (fun (_, _, k) -> k <> k0) rest
+        | (_, _, k0) :: rest -> List.exists (fun (_, _, k) -> not (lineage_equal k k0)) rest
       in
       let needs_merge =
         match relevant with
@@ -841,7 +841,7 @@ let[@transition] handle_join_req t ~carrier ~lwg ~joiner =
       match (l.status, l.view) with
       | L_normal, Some view when Node_id.equal (lwg_coordinator view) t.node ->
           if View.mem joiner view then () (* already in *)
-          else if l.flush <> None || not (Node_id.Set.mem joiner (hview_members t l)) then
+          else if Option.is_some l.flush || not (Node_id.Set.mem joiner (hview_members t l)) then
             (* defer until the joiner is visible in the carrier's view,
                or the L_VIEW could never reach it *)
             l.pending_joiners <- Node_id.Set.add joiner l.pending_joiners
@@ -861,7 +861,7 @@ let[@transition] handle_leave_req t ~lwg ~leaver =
   | Some l -> (
       match (l.status, l.view) with
       | L_normal, Some view when Node_id.equal (lwg_coordinator view) t.node && View.mem leaver view ->
-          if l.flush <> None then l.pending_leavers <- Node_id.Set.add leaver l.pending_leavers
+          if Option.is_some l.flush then l.pending_leavers <- Node_id.Set.add leaver l.pending_leavers
           else start_lflush t l ~new_members:(Node_id.Set.remove leaver (View.members_set view)) ~switch:None
       | _, _ -> ())
   | None -> ()
@@ -1010,7 +1010,7 @@ let run_policies_now t =
         (fun _ (l : lstate) ->
           match (l.status, l.view, l.hwg) with
           | L_normal, Some view, Some hgid when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush -> (
-              match List.assoc_opt hgid candidates with
+              match List.find_map (fun (g, ms) -> if Gid.equal g hgid then Some ms else None) candidates with
               | Some hwg_members -> (
                   let others = List.filter (fun (g, _) -> not (Gid.equal g hgid)) candidates in
                   match

@@ -49,6 +49,7 @@ let rec ev_nil =
     e_action = action_none;
     e_next = ev_nil;
   }
+[@@shared_cell "freelist terminator: a sentinel whose fields are never read or written"]
 
 type t = {
   topology : Topology.t;
@@ -128,16 +129,18 @@ let alloc_ev t =
     ev
   end
   else
-    {
-      k = Ev_free;
-      e_src = 0;
-      e_dst = 0;
-      e_sent_at = Time.zero;
-      e_payload = Poison_released;
-      e_guard = guard_none;
-      e_action = action_none;
-      e_next = ev_nil;
-    }
+    ({
+       k = Ev_free;
+       e_src = 0;
+       e_dst = 0;
+       e_sent_at = Time.zero;
+       e_payload = Poison_released;
+       e_guard = guard_none;
+       e_action = action_none;
+       e_next = ev_nil;
+     }
+    [@alloc_ok "pool growth: cold path, amortised by the freelist"])
+[@@zero_alloc_hot]
 
 let release_ev t ev =
   ev.k <- Ev_free;
@@ -146,6 +149,7 @@ let release_ev t ev =
   ev.e_action <- action_none;
   ev.e_next <- t.free_ev;
   t.free_ev <- ev
+[@@zero_alloc_hot]
 
 let subscribe t node handler =
   t.handlers.(node) <- handler :: t.handlers.(node);
@@ -161,15 +165,17 @@ let dispatch t ~sent_at ~src ~dst payload =
             { src; dst; kind = Payload.to_string payload; latency_us = Time.diff t.now sent_at });
       observe t "engine.delivery_latency_us" (float_of_int (Time.diff t.now sent_at))
     end;
-    if t.handlers_dirty.(dst) then begin
-      t.frozen.(dst) <- Array.of_list (List.rev t.handlers.(dst));
-      t.handlers_dirty.(dst) <- false
-    end;
+    (if t.handlers_dirty.(dst) then begin
+       t.frozen.(dst) <- Array.of_list (List.rev t.handlers.(dst));
+       t.handlers_dirty.(dst) <- false
+     end)
+    [@alloc_ok "handler freeze: runs once per subscription change, not per message"];
     let handlers = t.frozen.(dst) in
     for i = 0 to Array.length handlers - 1 do
       handlers.(i) ~src payload
     done
   end
+[@@zero_alloc_hot]
 
 (* A message that reached [dst]'s network interface queues through its
    CPU: service is FIFO and each message costs [proc_time]. *)
@@ -184,6 +190,7 @@ let enqueue_cpu t ~sent_at ~src ~dst payload =
   ev.e_sent_at <- sent_at;
   ev.e_payload <- payload;
   Plwg_util.Wheel.schedule t.queue ~tick:finish ev
+[@@zero_alloc_hot]
 
 (* Per-reason drop metric names, interned once: [drop] sits on the
    partition fast path and must not build strings when no observer is
@@ -197,6 +204,7 @@ let drop t ~src ~dst ~reason ~metric payload =
     trace t (fun () -> Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason });
     count t metric
   end
+[@@zero_alloc_hot]
 
 let send t ~src ~dst payload =
   if Topology.is_alive t.topology src then
@@ -241,6 +249,7 @@ let send t ~src ~dst payload =
       ev.e_payload <- payload;
       Plwg_util.Wheel.schedule t.queue ~tick:arrival ev
     end
+[@@zero_alloc_hot]
 
 let multicast t ~src ~dsts payload = List.iter (fun dst -> send t ~src ~dst payload) dsts
 
@@ -354,6 +363,7 @@ let exec t ev =
       release_ev t ev;
       if Topology.is_alive t.topology node then action ()
   | Ev_free -> assert false (* popped a released record: pool corruption *)
+[@@zero_alloc_hot]
 
 let run t ~until =
   let rec loop () =

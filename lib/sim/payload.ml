@@ -1,6 +1,8 @@
 type t = ..
 
-let printers : (t -> string option) list ref = ref []
+let printers : (t -> string option) list ref =
+  ref []
+[@@shared_cell "printer registry: extended at module-initialisation time only, read-only afterwards"]
 
 let register_printer p = printers := p :: !printers
 

@@ -32,13 +32,17 @@ type slot = {
   mutable s_next : slot; (* freelist link, [slot_nil]-terminated *)
 }
 
-let rec slot_nil = { s_seq = -1; s_body = Released_slot; s_free = true; s_gen = 0; s_next = slot_nil }
+let rec slot_nil =
+  { s_seq = -1; s_body = Released_slot; s_free = true; s_gen = 0; s_next = slot_nil }
+[@@shared_cell "freelist terminator: a sentinel whose fields are never read or written"]
 
 (* Debug-mode use-after-release detection on every read of a pooled
    slot (retransmit, ack prune, reset drain).  On by default: the check
    is a load and a branch, and a stale slot observed on the wire is a
    protocol-corrupting bug worth crashing on. *)
-let pool_debug = ref true
+let pool_debug =
+  ref true
+[@@shared_cell "debug toggle: set once by the harness before any node runs"]
 
 let set_pool_debug enabled = pool_debug := enabled
 
@@ -97,7 +101,10 @@ let alloc_slot ep ~seq ~body =
     s.s_next <- slot_nil;
     s
   end
-  else { s_seq = seq; s_body = body; s_free = false; s_gen = 0; s_next = slot_nil }
+  else
+    ({ s_seq = seq; s_body = body; s_free = false; s_gen = 0; s_next = slot_nil }
+    [@alloc_ok "pool growth: cold path, amortised by the freelist"])
+[@@zero_alloc_hot]
 
 let release_slot ep s =
   s.s_free <- true;
@@ -105,6 +112,7 @@ let release_slot ep s =
   s.s_body <- Released_slot;
   s.s_next <- ep.slot_free;
   ep.slot_free <- s
+[@@zero_alloc_hot]
 
 type t = { fabric_engine : Engine.t; fabric_config : config; endpoints : endpoint option array }
 
@@ -122,14 +130,16 @@ let engine t = t.fabric_engine
    registration, so the per-message path is a plain array walk with no
    [List.rev] allocation. *)
 let deliver ep ~src body =
-  if ep.handlers_dirty then begin
-    ep.frozen_handlers <- Array.of_list (List.rev ep.handlers);
-    ep.handlers_dirty <- false
-  end;
+  (if ep.handlers_dirty then begin
+     ep.frozen_handlers <- Array.of_list (List.rev ep.handlers);
+     ep.handlers_dirty <- false
+   end)
+  [@alloc_ok "handler freeze: runs once per subscription change, not per segment"];
   let handlers = ep.frozen_handlers in
   for i = 0 to Array.length handlers - 1 do
     handlers.(i) ~src body
   done
+[@@zero_alloc_hot]
 
 let ack_delay = Time.ms 5
 
@@ -182,6 +192,7 @@ let on_seg ep ~src ~conn ~seq body =
     else if seq > ic.next_expected then Seqbuf.add ic.out_of_order seq body;
     send_ack ep ~dst:src ic
   end
+[@@zero_alloc_hot]
 (* conn < ic.in_id: stale fragment of an abandoned connection; drop. *)
 
 let reset_out ep ~dst oc =
@@ -342,9 +353,11 @@ let send ep ~dst body =
     Deque.push_back oc.unacked (alloc_slot ep ~seq ~body);
     ep.in_flight <- ep.in_flight + 1;
     if ep.in_flight > ep.in_flight_peak then ep.in_flight_peak <- ep.in_flight;
-    Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq; body });
+    Engine.send ep.engine ~src:ep.node ~dst
+      ((Seg { conn = oc.out_id; seq; body }) [@alloc_ok "the wire segment itself: the one block a send must build"]);
     if oc.timer = None then arm_timer ep ~dst oc
   end
+[@@zero_alloc_hot]
 
 let send_raw ep ~dst payload = Engine.send ep.engine ~src:ep.node ~dst payload
 

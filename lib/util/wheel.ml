@@ -79,6 +79,7 @@ let release t nd =
   nd.n_next <- t.free;
   t.free <- nd;
   t.pooled <- t.pooled + 1
+[@@zero_alloc_hot]
 
 let alloc t ~tick value =
   if t.free != t.nil then begin
@@ -93,16 +94,20 @@ let alloc t ~tick value =
   end
   else begin
     t.allocated <- t.allocated + 1;
-    { n_tick = tick; n_value = value; n_next = t.nil; n_live = true; n_gen = 0 }
+    ({ n_tick = tick; n_value = value; n_next = t.nil; n_live = true; n_gen = 0 }
+    [@alloc_ok "pool growth: cold path, amortised by the freelist"])
   end
+[@@zero_alloc_hot]
 
-let level_of t tick =
-  let rec go l =
-    if l >= levels - 1 then levels - 1
-    else if tick lsr (bits * (l + 1)) = t.cur lsr (bits * (l + 1)) then l
-    else go (l + 1)
-  in
-  go 0
+(* Top-level recursion rather than an inner [let rec]: an inner closure
+   capturing [t]/[tick] is a per-call heap block without flambda. *)
+let rec level_from t tick l =
+  if l >= levels - 1 then levels - 1
+  else if tick lsr (bits * (l + 1)) = t.cur lsr (bits * (l + 1)) then l
+  else level_from t tick (l + 1)
+[@@zero_alloc_hot]
+
+let level_of t tick = level_from t tick 0 [@@zero_alloc_hot]
 
 let occ_clear t idx = t.occ0.(idx lsr 5) <- t.occ0.(idx lsr 5) land lnot (1 lsl (idx land 31))
 
@@ -114,32 +119,55 @@ let append t level idx nd =
   end
   else t.tails.(level).(idx).n_next <- nd;
   t.tails.(level).(idx) <- nd
+[@@zero_alloc_hot]
 
 let insert t nd =
   let l = level_of t nd.n_tick in
   append t l ((nd.n_tick lsr (bits * l)) land mask) nd
+[@@zero_alloc_hot]
 
 (* Redistribute the slots that became current when the cursor moved to
    [t.cur] (a multiple of [slots]): level 1's new slot always, and each
    higher level whose lower digits all wrapped to zero, top first so
    re-insertions land in already-cascaded territory. *)
-let cascade t =
-  let c = t.cur in
-  let max_l = ref 1 in
-  while !max_l < levels - 1 && (c lsr (bits * !max_l)) land mask = 0 do
-    incr max_l
-  done;
-  for l = !max_l downto 1 do
+(* All loops below are top-level tail recursion on ints and nodes: the
+   obvious [ref]/[while] phrasing costs a heap block per loop. *)
+let rec cascade_top c l =
+  if l < levels - 1 && (c lsr (bits * l)) land mask = 0 then cascade_top c (l + 1) else l
+[@@zero_alloc_hot]
+
+let rec drain_slot t nd =
+  if nd != t.nil then begin
+    let next = nd.n_next in
+    if nd.n_live then insert t nd else release t nd;
+    drain_slot t next
+  end
+[@@zero_alloc_hot]
+
+let rec cascade_level t c l =
+  if l >= 1 then begin
     let idx = (c lsr (bits * l)) land mask in
-    let nd = ref t.heads.(l).(idx) in
+    let nd = t.heads.(l).(idx) in
     t.heads.(l).(idx) <- t.nil;
     t.tails.(l).(idx) <- t.nil;
-    while !nd != t.nil do
-      let next = !nd.n_next in
-      if !nd.n_live then insert t !nd else release t !nd;
-      nd := next
-    done
-  done
+    drain_slot t nd;
+    cascade_level t c (l - 1)
+  end
+[@@zero_alloc_hot]
+
+let cascade t =
+  let c = t.cur in
+  cascade_level t c (cascade_top c 1)
+[@@zero_alloc_hot]
+
+(* Sorted insert after [p], past any equal tick (FIFO among equals). *)
+let rec overdue_insert t p nd =
+  if p.n_next != t.nil && p.n_next.n_tick <= nd.n_tick then overdue_insert t p.n_next nd
+  else begin
+    nd.n_next <- p.n_next;
+    p.n_next <- nd
+  end
+[@@zero_alloc_hot]
 
 let schedule_node t ~tick value =
   let nd = alloc t ~tick value in
@@ -150,20 +178,14 @@ let schedule_node t ~tick value =
       nd.n_next <- t.overdue;
       t.overdue <- nd
     end
-    else begin
-      let p = ref t.overdue in
-      while !p.n_next != t.nil && !p.n_next.n_tick <= tick do
-        p := !p.n_next
-      done;
-      nd.n_next <- !p.n_next;
-      !p.n_next <- nd
-    end
+    else overdue_insert t t.overdue nd
   end
   else begin
     if tick - t.cur >= capacity then invalid_arg "Wheel.schedule: tick beyond horizon";
     insert t nd
   end;
   nd
+[@@zero_alloc_hot]
 
 let schedule t ~tick value = ignore (schedule_node t ~tick value : _ node)
 
@@ -194,6 +216,7 @@ let rec clean0 t idx =
     release t h;
     clean0 t idx
   end
+[@@zero_alloc_hot]
 
 let rec clean_overdue t =
   let h = t.overdue in
@@ -202,6 +225,7 @@ let rec clean_overdue t =
     release t h;
     clean_overdue t
   end
+[@@zero_alloc_hot]
 
 (* Occupancy scan: first occupied level-0 slot at index >= [i], or
    [slots] when the rest of the window is empty.  A word of the bitmap
@@ -209,19 +233,21 @@ let rec clean_overdue t =
    256 head loads; [ctz_loop]'s cost is the found bit's index within
    its word.  Tail-recursive ints only — no allocation (plain refs
    would be heap blocks without flambda). *)
-let rec ctz_loop w n = if w land 1 = 1 then n else ctz_loop (w lsr 1) (n + 1)
+let rec ctz_loop w n = if w land 1 = 1 then n else ctz_loop (w lsr 1) (n + 1) [@@zero_alloc_hot]
 
 let rec next_occupied_word t w =
   if w >= Array.length t.occ0 then slots
   else
     let bits = t.occ0.(w) in
     if bits <> 0 then (w lsl 5) + ctz_loop bits 0 else next_occupied_word t (w + 1)
+[@@zero_alloc_hot]
 
 let next_occupied t i =
   if i >= slots then slots
   else
     let bits = t.occ0.(i lsr 5) land (-1 lsl (i land 31)) in
     if bits <> 0 then ((i lsr 5) lsl 5) + ctz_loop bits 0 else next_occupied_word t ((i lsr 5) + 1)
+[@@zero_alloc_hot]
 
 let rec pop_wheel t ~limit ~none =
   if t.live = 0 then begin
@@ -267,6 +293,7 @@ let rec pop_wheel t ~limit ~none =
       end
     end
   end
+[@@zero_alloc_hot]
 
 let pop_or t ~limit ~none =
   clean_overdue t;
@@ -280,3 +307,4 @@ let pop_or t ~limit ~none =
   end
   else if limit < t.cur then none
   else pop_wheel t ~limit ~none
+[@@zero_alloc_hot]

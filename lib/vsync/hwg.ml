@@ -288,7 +288,7 @@ let rec drain_frozen t g =
       let ready, rest =
         List.partition (fun (vid, msg) -> View_id.equal vid view.View.id && deliverable g msg) g.frozen
       in
-      if ready <> [] then begin
+      if not (List.is_empty ready) then begin
         g.frozen <- rest;
         let ready = List.sort (fun (_, a) (_, b) -> Int.compare a.seq b.seq) ready in
         List.iter (fun (_, msg) -> deliver_now t g msg ~view_id:view.View.id) ready;
@@ -802,7 +802,7 @@ and handle_install t ~group ~epoch ~view ~sync ~you_left =
            unblock an earlier one *)
         let rec deliver_sync pending =
           let ready, blocked = List.partition (fun msg -> deliverable g msg) pending in
-          if ready <> [] then begin
+          if not (List.is_empty ready) then begin
             List.iter (fun msg -> deliver_now t g msg ~view_id:old_view_id) ready;
             deliver_sync blocked
           end

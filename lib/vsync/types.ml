@@ -38,7 +38,9 @@ module Gid = struct
     let t = of_code c in
     Format.asprintf "%a" pp t
 
-  let strings : string Plwg_util.Intern.t = Plwg_util.Intern.create ()
+  let strings : string Plwg_util.Intern.t =
+    Plwg_util.Intern.create ()
+  [@@shared_cell "render-string intern cache: trace-boundary only, behind Intern's idempotent writes"]
   let to_string t = Plwg_util.Intern.intern strings (code t) render_string
 
   module Map = Map.Make (Ord)
@@ -76,7 +78,9 @@ module View_id = struct
     let t = of_code c in
     Format.asprintf "%a" pp t
 
-  let strings : string Plwg_util.Intern.t = Plwg_util.Intern.create ()
+  let strings : string Plwg_util.Intern.t =
+    Plwg_util.Intern.create ()
+  [@@shared_cell "render-string intern cache: trace-boundary only, behind Intern's idempotent writes"]
   let to_string t = Plwg_util.Intern.intern strings (code t) render_string
 
   module Map = Map.Make (Ord)

@@ -34,8 +34,11 @@ let random_inside_rng_quiet () =
 let wall_clock_fires = check_fires "wall-clock" "let f () = Unix.gettimeofday ()"
 let sys_time_fires = check_fires "wall-clock" "let f () = Sys.time ()"
 
-let poly_eq_fires = check_fires "poly-compare-protocol" "let f view a = view = a"
+(* Applied [=]/[compare] on protocol operands is now the typed engine's
+   job (see the typed section below); the untyped pass keeps the
+   value-position cases that need no types. *)
 let poly_compare_value_fires = check_fires "poly-compare-protocol" "let f xs = List.sort compare xs"
+let poly_hash_fires = check_fires "poly-compare-protocol" "let f view = Hashtbl.hash view"
 
 let poly_compare_fn_quiet = check_quiet "let f xs = List.sort Gid.compare xs"
 let int_equal_quiet = check_quiet "let f (view : int) a = Int.equal view a"
@@ -213,6 +216,175 @@ let baseline_json_roundtrip () =
       Alcotest.(check string) "rule" "wall-clock" e.Lint_baseline.rule;
       Alcotest.(check string) "reason" "bench" e.Lint_baseline.reason
 
+(* ---------------- message-family dispatch (ordinary variants) ---------------- *)
+
+(* An ordinary variant opts into the dispatch-wildcard rule with
+   [@@message_family]; without the attribute only extension
+   constructors are enforced. *)
+
+let family_variant_fires =
+  check_fires "dispatch-wildcard"
+    {|
+type lineage = L_continuous | L_cut of int | L_rejoined of int [@@message_family]
+let f l = match l with L_continuous -> 0 | _ -> 1
+|}
+
+let family_variant_exhaustive_quiet =
+  check_quiet
+    {|
+type lineage = L_continuous | L_cut of int [@@message_family]
+let f l = match l with L_continuous -> 0 | L_cut _ -> 1 | _ -> 2
+|}
+
+let plain_variant_not_enforced =
+  check_quiet
+    {|
+type plain = L_continuous | L_cut of int
+let f l = match l with L_continuous -> 0 | _ -> 1
+|}
+
+(* ---------------- report ordering ---------------- *)
+
+let report_order_canonical () =
+  let mk file line rule : Lint_rules.finding =
+    { rule; file; line; col = 0; source_line = "s"; message = "m" }
+  in
+  let sorted =
+    [
+      mk "lib/a.ml" 1 Lint_rules.Wall_clock;
+      mk "lib/a.ml" 9 Lint_rules.Hashtbl_iter_order;
+      mk "lib/b.ml" 2 Lint_rules.Poly_compare_protocol;
+    ]
+  in
+  let shuffled = [ List.nth sorted 2; List.nth sorted 0; List.nth sorted 1 ] in
+  let render fs = Plwg_obs.Json.to_string (Lint_report.to_json ~werror:true fs) in
+  Alcotest.(check string) "json order independent of discovery order" (render sorted) (render shuffled)
+
+(* ---------------- typed engine (cmt-level rules) ---------------- *)
+
+(* The typed rules walk real typedtrees; fixtures are typechecked
+   in-process against the stdlib, with protocol modules declared
+   locally (a local [module Types] yields the same canonical
+   ["Types.Gid.t"] key the protocol seed matches). *)
+
+let typecheck source =
+  Compmisc.init_path ();
+  let env = Compmisc.initial_env () in
+  let past = Parse.implementation (Lexing.from_string source) in
+  let str, _, _, _, _ = Typemod.type_structure env past in
+  str
+
+let typed_unit ?(unit_name = "Fixture") source =
+  {
+    Tlint_load.u_path = "lib/fixture/fixture.cmt";
+    u_unit = unit_name;
+    u_source = "lib/fixture/fixture.ml";
+    u_str = typecheck source;
+  }
+
+let typed_poly source =
+  let str = typecheck source in
+  let decls = Tlint_types.collect_decls ~unit:"Fixture" ~file:"lib/fixture/fixture.ml" str in
+  let protocol = Tlint_types.protocol_closure decls in
+  Tlint_poly.check ~protocol ~unit:"Fixture" str
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let protocol_prelude =
+  {|
+module Types = struct
+  module Gid = struct
+    type t = { seq : int; origin : int }
+    let equal a b = Int.equal a.seq b.seq && Int.equal a.origin b.origin
+  end
+end
+|}
+
+let typed_poly_fires () =
+  let findings = typed_poly (protocol_prelude ^ "let f (a : Types.Gid.t) b = a = b") in
+  Alcotest.(check int) "one finding" 1 (List.length findings);
+  let _, _, message = List.hd findings in
+  Alcotest.(check bool) "witness names the protocol type" true (contains message "Types.Gid.t")
+
+let typed_poly_containment_fires () =
+  (* a locally-declared record *containing* a protocol type is caught
+     through the containment closure, and in value position too *)
+  let findings =
+    typed_poly
+      (protocol_prelude
+     ^ "type wrap = { g : Types.Gid.t; n : int }\nlet f (xs : wrap list) = List.sort compare xs")
+  in
+  Alcotest.(check int) "closure catches the wrapper" 1 (List.length findings)
+
+let typed_poly_quiet () =
+  let findings =
+    typed_poly
+      (protocol_prelude
+     ^ "let f (a : Types.Gid.t) b = Types.Gid.equal a b\nlet g (x : int) y = x = y")
+  in
+  Alcotest.(check int) "keyed equality and int compare are quiet" 0 (List.length findings)
+
+let typed_alloc_fires () =
+  let str = typecheck "let wrap x = Some x [@@zero_alloc_hot]\nlet rev xs = List.rev xs [@@zero_alloc_hot]" in
+  Alcotest.(check int) "two hot bindings" 2 (List.length (Tlint_alloc.hot_bindings str));
+  let messages = List.map (fun (_, _, m) -> m) (Tlint_alloc.check str) in
+  Alcotest.(check int) "two findings" 2 (List.length messages);
+  Alcotest.(check bool) "constructor flagged" true (List.exists (fun m -> contains m "Some") messages);
+  Alcotest.(check bool) "List.rev flagged" true (List.exists (fun m -> contains m "List.rev") messages)
+
+let typed_alloc_quiet () =
+  let str =
+    typecheck
+      "let add a b = a + b [@@zero_alloc_hot]\n\
+       let get (t : int array) i = t.(i) [@@zero_alloc_hot]\n\
+       let cold x = (Some x [@alloc_ok \"fixture: cold path\"]) [@@zero_alloc_hot]"
+  in
+  Alcotest.(check int) "three hot bindings" 3 (List.length (Tlint_alloc.hot_bindings str));
+  Alcotest.(check int) "arithmetic, reads and [@alloc_ok] are quiet" 0 (List.length (Tlint_alloc.check str))
+
+let shared_cell_source annotated =
+  "let registry : (int, int) Hashtbl.t = Hashtbl.create 16"
+  ^ (if annotated then " [@@shared_cell \"fixture registry\"]" else "")
+  ^ "\nlet lookup k = Hashtbl.find_opt registry k"
+
+let typed_shared_cell_fires () =
+  let cells, findings = Tlint_domain.analyze [ typed_unit (shared_cell_source false) ] in
+  Alcotest.(check bool) "unannotated global flagged" true
+    (List.exists (fun (_, rule, _, _) -> rule = Lint_rules.Shared_cell) findings);
+  match List.find_opt (fun (c : Tlint_domain.cell) -> c.c_id = "Fixture.registry") cells with
+  | None -> Alcotest.fail "global cell missing from the report"
+  | Some c ->
+      Alcotest.(check string) "classified shared" "shared" c.c_class;
+      Alcotest.(check string) "via unannotated" "unannotated" c.c_via
+
+let typed_shared_cell_quiet () =
+  let cells, findings = Tlint_domain.analyze [ typed_unit (shared_cell_source true) ] in
+  Alcotest.(check int) "annotated global passes" 0 (List.length findings);
+  match List.find_opt (fun (c : Tlint_domain.cell) -> c.c_id = "Fixture.registry") cells with
+  | None -> Alcotest.fail "global cell missing from the report"
+  | Some c ->
+      Alcotest.(check string) "still reported shared" "shared" c.c_class;
+      Alcotest.(check string) "via annotation" "annotation" c.c_via;
+      Alcotest.(check string) "reason recorded" "fixture registry" c.c_reason
+
+let domain_report_deterministic () =
+  (* regeneration from a fresh typecheck of the same source must be
+     byte-identical — the property the @lint-typed staleness check
+     (--check-domain-safety) relies on *)
+  let render () = Tlint_domain.render (fst (Tlint_domain.analyze [ typed_unit (shared_cell_source true) ])) in
+  let first = render () in
+  Alcotest.(check string) "byte-identical regeneration" first (render ());
+  match Plwg_obs.Json.of_string first with
+  | Plwg_obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema field" true
+        (List.exists
+           (function "schema", Plwg_obs.Json.Str "plwg-domain-safety/1" -> true | _ -> false)
+           fields)
+  | _ -> Alcotest.fail "report is not a JSON object"
+
 let suite =
   [
     Alcotest.test_case "hashtbl iter fires" `Quick hashtbl_iter_fires;
@@ -222,8 +394,8 @@ let suite =
     Alcotest.test_case "Random inside Rng is quiet" `Quick random_inside_rng_quiet;
     Alcotest.test_case "Unix.gettimeofday fires" `Quick wall_clock_fires;
     Alcotest.test_case "Sys.time fires" `Quick sys_time_fires;
-    Alcotest.test_case "poly = on protocol operand fires" `Quick poly_eq_fires;
     Alcotest.test_case "bare compare as value fires" `Quick poly_compare_value_fires;
+    Alcotest.test_case "Hashtbl.hash fires" `Quick poly_hash_fires;
     Alcotest.test_case "typed comparator is quiet" `Quick poly_compare_fn_quiet;
     Alcotest.test_case "Int.equal is quiet" `Quick int_equal_quiet;
     Alcotest.test_case "dispatch wildcard fires" `Quick dispatch_wildcard_fires;
@@ -249,4 +421,16 @@ let suite =
     Alcotest.test_case "baseline stale entries" `Quick baseline_stale_detected;
     Alcotest.test_case "baseline entry masks one finding" `Quick baseline_one_entry_one_finding;
     Alcotest.test_case "baseline json round trip" `Quick baseline_json_roundtrip;
+    Alcotest.test_case "[@@message_family] variant fires" `Quick family_variant_fires;
+    Alcotest.test_case "[@@message_family] exhaustive is quiet" `Quick family_variant_exhaustive_quiet;
+    Alcotest.test_case "plain variant not enforced" `Quick plain_variant_not_enforced;
+    Alcotest.test_case "report order is canonical" `Quick report_order_canonical;
+    Alcotest.test_case "typed poly = at protocol type fires" `Quick typed_poly_fires;
+    Alcotest.test_case "typed poly containment closure fires" `Quick typed_poly_containment_fires;
+    Alcotest.test_case "typed keyed equality is quiet" `Quick typed_poly_quiet;
+    Alcotest.test_case "hot-path allocation fires" `Quick typed_alloc_fires;
+    Alcotest.test_case "allocation-free hot path is quiet" `Quick typed_alloc_quiet;
+    Alcotest.test_case "unannotated shared cell fires" `Quick typed_shared_cell_fires;
+    Alcotest.test_case "annotated shared cell is quiet" `Quick typed_shared_cell_quiet;
+    Alcotest.test_case "domain report regeneration is byte-identical" `Quick domain_report_deterministic;
   ]
