@@ -4,22 +4,31 @@
    core is tracked from run to run (see EXPERIMENTS.md, "Performance
    baselines", for the schema and the recorded history).
 
-     dune exec bench/macro.exe [-- --quick | --smoke] [--out FILE] [--seed N]
+     dune exec bench/macro.exe [-- --quick | --smoke] [--backend sim|domains]
+                               [--domains N] [--out FILE] [--seed N]
 
    Two parts:
 
    - a backlog micro-case: partition a sender, queue [backlog_n] sends
      (polling [Transport.in_flight] per send, as the stress command
      does), heal, drain.  This is the workload where the pre-ring
-     transport paid O(n^2) list appends.
+     transport paid O(n^2) list appends.  Partitions are a sim control,
+     so this part only runs with [--backend sim].
    - a macro sweep: n nodes, g groups of 4 members each, every group's
      first member sending at a fixed rate, wall-clock timed against the
-     engine's own message counters. *)
+     engine's own message counters.  [--backend domains] runs the sweep
+     through the same protocol stack on the multi-domain backend; the
+     allocation gate stays sim-only ([Gc.minor_words] is per-domain). *)
 
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
+module Sim_rt = Plwg_runtime.Sim_rt
+module Domains_rt = Plwg_runtime_domains.Domains_rt
 module Transport = Plwg_transport.Transport
 module Hwg = Plwg_vsync.Hwg
+module Service = Plwg.Service
 module Cluster = Plwg_harness.Cluster
+module Stack = Plwg_harness.Stack
 module Json = Plwg_obs.Json
 open Plwg_vsync.Types
 
@@ -36,8 +45,8 @@ let us_of_s s = int_of_float (s *. 1e6)
 (* ------------------------------------------------------------------ *)
 
 let backlog_cycle ~n_msgs =
-  let engine = Engine.create ~model:Model.default ~seed:11 ~n_nodes:2 () in
-  let transport = Transport.create engine in
+  let engine = Sim_rt.create ~model:Model.default ~seed:11 ~n_nodes:2 () in
+  let transport = Transport.create (Sim_rt.rt engine) in
   let got = ref 0 in
   let fifo = ref true in
   let next = ref 1 in
@@ -49,7 +58,7 @@ let backlog_cycle ~n_msgs =
           incr got
       | _ -> ());
   let ep = Transport.endpoint transport 0 in
-  Engine.set_partition engine [ [ 0 ]; [ 1 ] ];
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1 ] ];
   let t0 = wall () in
   let max_in_flight = ref 0 in
   for i = 1 to n_msgs do
@@ -57,8 +66,8 @@ let backlog_cycle ~n_msgs =
     max_in_flight := max !max_in_flight (Transport.in_flight ep)
   done;
   let t1 = wall () in
-  Engine.heal engine;
-  Engine.run_until_idle ~limit:(Time.sec 120) engine;
+  Sim_rt.heal engine;
+  Sim_rt.run_until_idle ~limit:(Time.sec 120) engine;
   let t2 = wall () in
   if not (!got = n_msgs && !fifo && !max_in_flight = n_msgs) then
     failwith
@@ -101,12 +110,12 @@ let drain_in_flight cluster =
   let engine = cluster.Cluster.engine in
   let step = Time.us 100 in
   let budget = ref 100_000 (* up to 10 simulated seconds *) in
-  while Engine.in_flight engine > 0 && !budget > 0 do
+  while Sim_rt.in_flight engine > 0 && !budget > 0 do
     decr budget;
     Cluster.run cluster step
   done;
-  if Engine.in_flight engine > 0 then
-    failwith (Printf.sprintf "macro: %d messages still in flight after drain" (Engine.in_flight engine))
+  if Sim_rt.in_flight engine > 0 then
+    failwith (Printf.sprintf "macro: %d messages still in flight after drain" (Sim_rt.in_flight engine))
 
 let members_of_group ~nodes i =
   let size = min 4 nodes in
@@ -134,13 +143,13 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
           incr counter;
           if Hwg.is_member cluster.Cluster.hwgs.(sender) gid then
             Hwg.send cluster.Cluster.hwgs.(sender) gid (Bench !counter);
-          Engine.after_ engine period fire
+          Sim_rt.after_ engine period fire
         end
       in
       (* stagger start so groups do not send in lock-step *)
-      Engine.after_ engine (Time.us (131 * i)) fire)
+      Sim_rt.after_ engine (Time.us (131 * i)) fire)
     gids;
-  let before = Engine.stats engine in
+  let before = Sim_rt.stats engine in
   let minor0 = Gc.minor_words () in
   let t0 = wall () in
   Cluster.run cluster (Time.sec sim_s);
@@ -151,9 +160,9 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
   drain_in_flight cluster;
   let wall_s = wall () -. t0 in
   let minor_words = Gc.minor_words () -. minor0 in
-  let after = Engine.stats engine in
-  let sent = after.Engine.sent - before.Engine.sent in
-  let delivered = after.Engine.delivered - before.Engine.delivered in
+  let after = Sim_rt.stats engine in
+  let sent = after.Sim_rt.sent - before.Sim_rt.sent in
+  let delivered = after.Sim_rt.delivered - before.Sim_rt.delivered in
   if sent <> delivered then
     failwith (Printf.sprintf "macro: fault-free window lost messages: sent %d <> delivered %d" sent delivered);
   let peak_unacked =
@@ -193,6 +202,91 @@ let run_config ~seed { nodes; groups; rate_hz; sim_s } =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Macro sweep, multi-domain backend                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The same (nodes x groups x rate) workload through the Direct-mode
+   service stack on the multi-domain backend.  Differences from the sim
+   sweep, all forced by the backend model: senders are node-affine
+   recurring timers (no global timer exists), joins happen at wiring
+   (the backend is driven in spans, and wiring must be quiescent), and
+   there is no allocation or store-peak column — minor-heap counters
+   are per-domain, and Direct mode keeps its carrier HWGs internal. *)
+
+let drain_in_flight_domains b =
+  let step = Time.us 100 in
+  let budget = ref 100_000 (* up to 10 simulated seconds *) in
+  while Domains_rt.in_flight b > 0 && !budget > 0 do
+    decr budget;
+    Domains_rt.run_span b step
+  done;
+  if Domains_rt.in_flight b > 0 then
+    failwith (Printf.sprintf "macro: %d messages still in flight after drain" (Domains_rt.in_flight b))
+
+let run_config_domains ~seed ~n_domains { nodes; groups; rate_hz; sim_s } =
+  let b = Domains_rt.create ~n_domains ~seed ~n_nodes:nodes () in
+  let rt = Domains_rt.rt b in
+  let parts = Stack.wire ~mode:Stack.Direct ~n_app:nodes rt in
+  let gids = List.init groups (fun i -> { Gid.seq = 1 + i; origin = 0 }) in
+  List.iteri
+    (fun i gid ->
+      List.iter (fun m -> Service.join parts.Stack.p_services.(m) gid) (members_of_group ~nodes i))
+    gids;
+  Domains_rt.run_span b (Time.sec 4);
+  drain_in_flight_domains b;
+  let period = Time.us (1_000_000 / rate_hz) in
+  let senders_active = ref true in
+  List.iteri
+    (fun i gid ->
+      let sender = List.hd (members_of_group ~nodes i) in
+      let counter = ref 0 (* sender-affine: bumped only on [sender]'s executor *) in
+      let rec fire () =
+        if !senders_active then begin
+          incr counter;
+          Service.send parts.Stack.p_services.(sender) gid (Bench !counter);
+          Rt.after_node_ rt sender period fire
+        end
+      in
+      (* stagger start so groups do not send in lock-step *)
+      Rt.after_node_ rt sender (Time.us (131 * i)) fire)
+    gids;
+  let before = Domains_rt.stats b in
+  let t0 = wall () in
+  Domains_rt.run_span b (Time.sec sim_s);
+  (* quiescent between spans: workers are joined, so the flag write is
+     ordered before the drain's next spawn *)
+  senders_active := false;
+  drain_in_flight_domains b;
+  let wall_s = wall () -. t0 in
+  let after = Domains_rt.stats b in
+  let sent = after.Domains_rt.sent - before.Domains_rt.sent in
+  let delivered = after.Domains_rt.delivered - before.Domains_rt.delivered in
+  if sent <> delivered then
+    failwith (Printf.sprintf "macro: fault-free window lost messages: sent %d <> delivered %d" sent delivered);
+  let peak_unacked =
+    List.fold_left
+      (fun acc node -> max acc (Transport.in_flight_peak (Transport.endpoint parts.Stack.p_transport node)))
+      0
+      (List.init nodes (fun i -> i))
+  in
+  let msgs_per_wall_s = if wall_s > 0. then int_of_float (float_of_int delivered /. wall_s) else 0 in
+  Printf.printf
+    "nodes=%-3d groups=%-4d rate=%dHz sim=%ds [%d domains]: wall %7.1f ms, %8d delivered (%9d msgs/wall-s), peak unacked %d\n%!"
+    nodes groups rate_hz sim_s n_domains (wall_s *. 1e3) delivered msgs_per_wall_s peak_unacked;
+  Json.Obj
+    [
+      ("nodes", Json.Int nodes);
+      ("groups", Json.Int groups);
+      ("rate_hz", Json.Int rate_hz);
+      ("sim_s", Json.Int sim_s);
+      ("wall_us", Json.Int (us_of_s wall_s));
+      ("sent", Json.Int sent);
+      ("delivered", Json.Int delivered);
+      ("msgs_per_wall_s", Json.Int msgs_per_wall_s);
+      ("peak_unacked", Json.Int peak_unacked);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -216,10 +310,17 @@ let () =
   let out = ref "BENCH_results.json" in
   let seed = ref 7 in
   let max_allocs = ref 0 in
+  let backend = ref "sim" in
+  let n_domains = ref 2 in
   let spec =
     [
       ("--quick", Arg.Set quick, " reduced sweep (a few seconds)");
       ("--smoke", Arg.Set smoke, " one tiny config; used by the runtest wiring");
+      ( "--backend",
+        Arg.Symbol ([ "sim"; "domains" ], fun s -> backend := s),
+        " runtime backend for the macro sweep (default sim); domains skips the backlog micro-case \
+         and the allocation gate" );
+      ("--domains", Arg.Set_int n_domains, "N worker domains for --backend domains (default 2)");
       ("--out", Arg.Set_string out, "FILE results file (default BENCH_results.json)");
       ("--seed", Arg.Set_int seed, "N simulation seed (default 7)");
       ( "--max-allocs",
@@ -235,13 +336,19 @@ let () =
     else if !quick then (quick_sweep, 1_000, 5, "quick")
     else (full_sweep, 1_000, 20, "full")
   in
-  let backlog = backlog_micro ~n_msgs:backlog_n ~reps in
-  let runs = List.map (fun config -> run_config ~seed:!seed config) sweep in
+  let on_sim = String.equal !backend "sim" in
+  let backlog = if on_sim then backlog_micro ~n_msgs:backlog_n ~reps else Json.Null in
+  let runs =
+    if on_sim then List.map (fun config -> run_config ~seed:!seed config) sweep
+    else List.map (fun config -> run_config_domains ~seed:!seed ~n_domains:!n_domains config) sweep
+  in
   let json =
     Json.Obj
       [
         ("schema", Json.Str "plwg-macro-bench/1");
         ("mode", Json.Str mode);
+        ("backend", Json.Str !backend);
+        ("n_domains", if on_sim then Json.Null else Json.Int !n_domains);
         ("seed", Json.Int !seed);
         ("backlog_micro", backlog);
         ("runs", Json.List runs);
@@ -252,7 +359,9 @@ let () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "results written to %s\n" !out;
-  if !max_allocs > 0 then begin
+  if !max_allocs > 0 && not on_sim then
+    prerr_endline "macro: --max-allocs is sim-only (minor-heap counters are per-domain); ignoring";
+  if !max_allocs > 0 && on_sim then begin
     let worst =
       List.fold_left
         (fun acc run ->

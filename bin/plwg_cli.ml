@@ -5,6 +5,7 @@
 *)
 
 open Cmdliner
+module Sim_rt = Plwg_runtime.Sim_rt
 
 (* ---------------- shared observability flags ---------------- *)
 
@@ -123,12 +124,12 @@ let stress_cmd =
             let right =
               List.init (n_app - cut) (fun i -> cut + i) @ List.tl servers
             in
-            Engine.set_partition stack.Plwg_harness.Stack.engine [ left; right ]
-        | 1 -> Engine.heal stack.Plwg_harness.Stack.engine
+            Sim_rt.set_partition stack.Plwg_harness.Stack.engine [ left; right ]
+        | 1 -> Sim_rt.heal stack.Plwg_harness.Stack.engine
         | _ -> ());
         Plwg_harness.Stack.run stack (Time.sec 5)
       done;
-      Engine.heal stack.Plwg_harness.Stack.engine;
+      Sim_rt.heal stack.Plwg_harness.Stack.engine;
       Plwg_harness.Stack.run stack (Time.sec 25);
       (* in_flight/in_flight_peak are O(1) counters, so sampling every
          node's transport backlog after a schedule costs nothing *)
@@ -304,8 +305,31 @@ let chaos_cmd =
       const run $ seed_arg $ runs_arg $ profile_arg $ quick_arg $ shrink_arg $ replay_arg $ out_arg $ trace_arg
       $ metrics_arg $ determinism_arg)
 
+let conformance_cmd =
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.") in
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"Domain count for the multi-domain backend.")
+  in
+  let run seed domains =
+    match Plwg_harness.Conformance.check ~seed ~n_domains:domains with
+    | Ok () ->
+        Printf.printf "conformance: seed %d, %d domains: sim deterministic, domains deterministic, equivalent\n"
+          seed domains
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "conformance: %s\n" e) errs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Run the seeded conformance scenario on the deterministic sim and the OCaml 5 multi-domain backend; \
+          check determinism of each and trace-equivalence (modulo per-node commutativity) between them.")
+    Term.(const run $ seed_arg $ domains_arg)
+
 let main_cmd =
   let doc = "Partitionable Light-Weight Groups (Rodrigues & Guo, ICDCS 2000) - reproduction driver" in
-  Cmd.group (Cmd.info "plwg" ~version:"1.0.0" ~doc) [ figure2_cmd; scenario_cmd; ablation_cmd; stress_cmd; chaos_cmd ]
+  Cmd.group
+    (Cmd.info "plwg" ~version:"1.0.0" ~doc)
+    [ figure2_cmd; scenario_cmd; ablation_cmd; stress_cmd; chaos_cmd; conformance_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

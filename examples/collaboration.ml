@@ -10,6 +10,7 @@
 *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Stack = Plwg_harness.Stack
@@ -50,8 +51,8 @@ let () =
         (fun i group ->
           List.iteri
             (fun j user ->
-              let (_ : Engine.cancel) =
-                Engine.after stack.Stack.engine
+              let (_ : Sim_rt.cancel) =
+                Sim_rt.after stack.Stack.engine
                   (Time.ms ((300 * i) + (70 * j)))
                   (fun () -> Service.join services.(user) group)
               in

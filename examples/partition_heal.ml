@@ -12,6 +12,7 @@
 *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Stack = Plwg_harness.Stack
@@ -22,7 +23,7 @@ module Db = Plwg_naming.Db
 type Payload.t += Note of string
 
 let () =
-  let stamp stack = Format.asprintf "%a" Time.pp (Engine.now stack.Stack.engine) in
+  let stamp stack = Format.asprintf "%a" Time.pp (Sim_rt.now stack.Stack.engine) in
   let callbacks node =
     {
       Service.on_view =
@@ -45,7 +46,7 @@ let () =
 
   Format.printf "== t=%s: the network partitions into {n0,n1} and {n2,n3}@." (stamp stack);
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
   Stack.run stack (Time.sec 6);
 
   Format.printf "== t=%s: both sides keep working in concurrent views@." (stamp stack);
@@ -68,7 +69,7 @@ let () =
   show_mappings ();
 
   Format.printf "== t=%s: the partition heals; reconciliation runs@." (stamp stack);
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 20);
   show_mappings ();
   List.iter

@@ -10,6 +10,7 @@
 *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Stack = Plwg_harness.Stack
@@ -49,8 +50,8 @@ let () =
         List.iteri
           (fun j trader ->
             let delay = Time.ms ((400 * i) + (60 * j)) in
-            let (_ : Engine.cancel) =
-              Engine.after stack.Stack.engine delay (fun () -> Service.join services.(trader) gid)
+            let (_ : Sim_rt.cancel) =
+              Sim_rt.after stack.Stack.engine delay (fun () -> Service.join services.(trader) gid)
             in
             ())
           desk;
@@ -79,8 +80,8 @@ let () =
     (fun (_, gid, desk) ->
       let publisher = List.hd desk in
       for k = 1 to 20 do
-        let (_ : Engine.cancel) =
-          Engine.after stack.Stack.engine (Time.ms (50 * k)) (fun () ->
+        let (_ : Sim_rt.cancel) =
+          Sim_rt.after stack.Stack.engine (Time.ms (50 * k)) (fun () ->
               Service.send services.(publisher) gid (Tick { subject = 0; price = 100 + k }))
         in
         ()

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 
 type Payload.t += Heartbeat of { from : Node_id.t }
 
@@ -21,7 +22,7 @@ let default_config = { period = Time.ms 100; timeout = Time.ms 350 }
    is two array stores and a branch. *)
 type t = {
   node : Node_id.t;
-  engine : Engine.t;
+  rt : Rt.t;
   transport : Plwg_transport.Transport.t;
   config : config;
   last_heard : Time.t array; (* per peer; negative = never heard *)
@@ -31,8 +32,8 @@ type t = {
 }
 
 let notify t peer status =
-  Engine.count t.engine "detector.transitions";
-  Engine.trace t.engine (fun () ->
+  Rt.count t.rt "detector.transitions";
+  Rt.trace t.rt (fun () ->
       Plwg_obs.Event.Peer_status { node = t.node; peer; reachable = status = Reachable });
   (* Subscribers are stored newest-first; reverse so they fire in
      registration order. *)
@@ -53,7 +54,7 @@ let mark_unreachable t peer =
   end
 
 let sweep t =
-  let now = Engine.now t.engine in
+  let now = Rt.now t.rt in
   for peer = 0 to Array.length t.reach - 1 do
     if t.reach.(peer) then begin
       let heard = t.last_heard.(peer) in
@@ -63,18 +64,18 @@ let sweep t =
 [@@zero_alloc_hot]
 
 let tick t =
-  if Topology.is_alive (Engine.topology t.engine) t.node then begin
+  if Rt.is_alive t.rt t.node then begin
     Plwg_transport.Transport.broadcast_raw t.transport ~src:t.node (Heartbeat { from = t.node });
     sweep t
   end
 
 let create ?(config = default_config) transport node =
-  let engine = Plwg_transport.Transport.engine transport in
-  let n_nodes = Topology.n_nodes (Engine.topology engine) in
+  let rt = Plwg_transport.Transport.runtime transport in
+  let n_nodes = Rt.n_nodes rt in
   let t =
     {
       node;
-      engine;
+      rt;
       transport;
       config;
       last_heard = Array.make n_nodes (-1);
@@ -88,7 +89,7 @@ let create ?(config = default_config) transport node =
       match payload with
       | Heartbeat { from } ->
           if from = src then begin
-            t.last_heard.(src) <- Engine.now engine;
+            t.last_heard.(src) <- Rt.now rt;
             mark_reachable t src
           end
       | _ -> ());
@@ -97,9 +98,9 @@ let create ?(config = default_config) transport node =
   let stagger = Time.us (node * 137) in
   let rec loop () =
     tick t;
-    Engine.after_ engine t.config.period loop
+    Rt.at_node_ rt node t.config.period loop
   in
-  Engine.after_ engine stagger loop;
+  Rt.at_node_ rt node stagger loop;
   t
 
 let node t = t.node

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Policy = Plwg.Policy
@@ -22,8 +23,8 @@ let run_mixed ~params ~policy_period ~seed =
       List.iteri
         (fun j node ->
           let delay = Time.ms ((300 * i) + (50 * j)) in
-          let (_ : Engine.cancel) =
-            Engine.after stack.Stack.engine delay (fun () -> Service.join stack.Stack.services.(node) g)
+          let (_ : Sim_rt.cancel) =
+            Sim_rt.after stack.Stack.engine delay (fun () -> Service.join stack.Stack.services.(node) g)
           in
           ())
         (List.init width (fun n -> n)))
@@ -32,12 +33,12 @@ let run_mixed ~params ~policy_period ~seed =
   (* watch until the mapping stops changing *)
   let last_change = ref Time.zero and last_count = ref 0 in
   let horizon = Time.sec 60 in
-  while Time.compare (Engine.now stack.Stack.engine) horizon < 0 do
+  while Time.compare (Sim_rt.now stack.Stack.engine) horizon < 0 do
     Stack.run stack (Time.ms 500);
     let count = switches () in
     if count <> !last_count then begin
       last_count := count;
-      last_change := Engine.now stack.Stack.engine
+      last_change := Sim_rt.now stack.Stack.engine
     end
   done;
   let carriers =
@@ -89,7 +90,7 @@ let anti_entropy ?(seed = 13) () =
     Array.iter (fun service -> Service.join service group) stack.Stack.services;
     Stack.run stack (Time.sec 10);
     let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-    Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+    Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
     Stack.run stack (Time.sec 6);
     let target = Hwg.fresh_gid (Service.hwg_service stack.Stack.services.(2)) in
     Service.request_switch stack.Stack.services.(2) group target;
@@ -97,9 +98,9 @@ let anti_entropy ?(seed = 13) () =
     (* de-align the heal from the gossip timers (whole-second phases
        would otherwise coincide with every gossip period) *)
     Stack.run stack (Time.ms (137 + (229 * seed mod 1499)));
-    Engine.heal stack.Stack.engine;
-    let heal_time = Engine.now stack.Stack.engine in
-    let since () = Time.to_float_ms (Time.diff (Engine.now stack.Stack.engine) heal_time) in
+    Sim_rt.heal stack.Stack.engine;
+    let heal_time = Sim_rt.now stack.Stack.engine in
+    let since () = Time.to_float_ms (Time.diff (Sim_rt.now stack.Stack.engine) heal_time) in
     let detect = ref nan and converge = ref nan in
     (* observe from inside the simulation: the conflict window between
        database merge and completed switches lasts only milliseconds *)
@@ -119,7 +120,7 @@ let anti_entropy ?(seed = 13) () =
                stack.Stack.ns_servers
         then converge := since ()
         else
-          let (_ : Engine.cancel) = Engine.after stack.Stack.engine (Time.ms 1) observe in
+          let (_ : Sim_rt.cancel) = Sim_rt.after stack.Stack.engine (Time.ms 1) observe in
           ()
       end
     in
@@ -148,8 +149,8 @@ let merge_cost ?(seed = 14) () =
         (fun i g ->
           Array.iteri
             (fun node service ->
-              let (_ : Engine.cancel) =
-                Engine.after stack.Stack.engine
+              let (_ : Sim_rt.cancel) =
+                Sim_rt.after stack.Stack.engine
                   (Time.ms ((200 * i) + (40 * node)))
                   (fun () -> Service.join service g)
               in
@@ -158,16 +159,16 @@ let merge_cost ?(seed = 14) () =
         groups;
       Stack.run stack (Time.sec (10 + (m / 2)));
       let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-      Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+      Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
       Stack.run stack (Time.sec 6);
-      Engine.heal stack.Stack.engine;
-      let heal_time = Engine.now stack.Stack.engine in
+      Sim_rt.heal stack.Stack.engine;
+      let heal_time = Sim_rt.now stack.Stack.engine in
       let steps = ref 0 in
       while (not (List.for_all (Stack.lwg_converged stack) groups)) && !steps < 400 do
         Stack.run stack (Time.ms 100);
         incr steps
       done;
-      let merge_ms = Time.to_float_ms (Time.diff (Engine.now stack.Stack.engine) heal_time) in
+      let merge_ms = Time.to_float_ms (Time.diff (Sim_rt.now stack.Stack.engine) heal_time) in
       (* HWG view installs at node 0 after the heal = flushes this node
          went through to merge everything *)
       let flushes =

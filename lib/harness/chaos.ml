@@ -11,6 +11,7 @@
    seed alone. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Hwg = Plwg_vsync.Hwg
@@ -198,7 +199,7 @@ let generate ~seed ~mode profile =
 
 (* Distinct connectivity classes restricted to alive app nodes. *)
 let app_components stack =
-  let topology = Engine.topology stack.Stack.engine in
+  let topology = Sim_rt.topology stack.Stack.engine in
   List.filter_map
     (fun node ->
       if Topology.is_alive topology node then
@@ -253,7 +254,7 @@ let check_hwg_agreement stack =
    run), and none may still advertise a conflict: an outstanding
    MULTIPLE-MAPPINGS means reconciliation never completed. *)
 let check_naming stack =
-  let topology = Engine.topology stack.Stack.engine in
+  let topology = Sim_rt.topology stack.Stack.engine in
   let failures = ref [] in
   let live_servers =
     List.filter (fun server -> Topology.is_alive topology (Server.node server)) stack.Stack.ns_servers
@@ -347,7 +348,7 @@ let run_schedule ?metrics ?on_trace ?(run = 0) schedule =
   let obs = { Plwg_obs.sink; metrics = (match metrics with Some m -> m | None -> Plwg_obs.Metrics.create ()) } in
   let stack = Stack.create ~obs ~seed:schedule.seed ~mode:schedule.mode ~n_app:profile.n_app () in
   let engine = stack.Stack.engine in
-  Engine.trace engine (fun () ->
+  Sim_rt.trace engine (fun () ->
       Plwg_obs.Event.Chaos_schedule
         { run; seed = schedule.seed; steps = List.length schedule.script; mode = mode_to_string schedule.mode });
   let lwgs = List.init profile.n_lwgs chaos_lwg in
@@ -358,9 +359,9 @@ let run_schedule ?metrics ?on_trace ?(run = 0) schedule =
      the transport backlogs the oracle inspects. *)
   let traffic_until = Time.add profile.warmup profile.window in
   let counter = ref 0 in
-  let topology = Engine.topology engine in
+  let topology = Sim_rt.topology engine in
   let rec traffic () =
-    if Time.compare (Engine.now engine) traffic_until < 0 then begin
+    if Time.compare (Sim_rt.now engine) traffic_until < 0 then begin
       let sender = !counter mod profile.n_app in
       incr counter;
       if Topology.is_alive topology sender then
@@ -370,18 +371,18 @@ let run_schedule ?metrics ?on_trace ?(run = 0) schedule =
             | Some _ -> Service.send stack.Stack.services.(sender) lwg (Chaos_app !counter)
             | None -> ())
           lwgs;
-      let (_ : Engine.cancel) = Engine.after engine profile.traffic_period traffic in
+      let (_ : Sim_rt.cancel) = Sim_rt.after engine profile.traffic_period traffic in
       ()
     end
   in
-  let (_ : Engine.cancel) = Engine.after engine (Time.ms 500) traffic in
+  let (_ : Sim_rt.cancel) = Sim_rt.after engine (Time.ms 500) traffic in
   Stack.run stack (profile.warmup + profile.window + Time.sec 1 + profile.settle);
   let trace_truncated = Plwg_obs.Sink.dropped sink > 0 in
   if trace_truncated then Plwg_obs.Metrics.incr obs.Plwg_obs.metrics "chaos.trace_truncated";
   let entries = Plwg_obs.Sink.to_list sink in
   (match on_trace with Some f -> f entries | None -> ());
   let failures = oracle stack ~lwgs ~entries ~trace_truncated in
-  Engine.trace engine (fun () ->
+  Sim_rt.trace engine (fun () ->
       Plwg_obs.Event.Chaos_verdict
         {
           run;

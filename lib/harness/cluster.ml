@@ -1,11 +1,20 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
+module Sim_rt = Plwg_runtime.Sim_rt
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
 module Hwg = Plwg_vsync.Hwg
 module Recorder = Plwg_vsync.Recorder
 
+type parts = {
+  p_transport : Transport.t;
+  p_detectors : Detector.t array;
+  p_hwgs : Hwg.t array;
+  p_recorder : Recorder.t;
+}
+
 type t = {
-  engine : Engine.t;
+  engine : Sim_rt.t;
   obs : Plwg_obs.t option;
   transport : Transport.t;
   detectors : Detector.t array;
@@ -13,10 +22,10 @@ type t = {
   recorder : Recorder.t;
 }
 
-let create ?obs ?(model = Model.default) ?(hwg_config = Hwg.default_config)
-    ?(detector_config = Detector.default_config) ?(callbacks = fun _ -> Hwg.no_callbacks) ~seed ~n_nodes () =
-  let engine = Engine.create ?obs ~model ~seed ~n_nodes () in
-  let transport = Transport.create engine in
+let wire ?(hwg_config = Hwg.default_config) ?(detector_config = Detector.default_config)
+    ?(callbacks = fun _ -> Hwg.no_callbacks) rt =
+  let n_nodes = Rt.n_nodes rt in
+  let transport = Transport.create rt in
   let recorder = Recorder.create () in
   let detectors = Array.init n_nodes (fun node -> Detector.create ~config:detector_config transport node) in
   let hwgs =
@@ -24,14 +33,27 @@ let create ?obs ?(model = Model.default) ?(hwg_config = Hwg.default_config)
         Hwg.create ~config:hwg_config ~recorder:(Recorder.hook recorder) ~transport ~detector:detectors.(node)
           (callbacks node) node)
   in
-  { engine; obs; transport; detectors; hwgs; recorder }
+  { p_transport = transport; p_detectors = detectors; p_hwgs = hwgs; p_recorder = recorder }
 
-let run t span = Engine.run_span t.engine span
+let create ?obs ?(model = Model.default) ?(hwg_config = Hwg.default_config)
+    ?(detector_config = Detector.default_config) ?(callbacks = fun _ -> Hwg.no_callbacks) ~seed ~n_nodes () =
+  let engine = Sim_rt.create ?obs ~model ~seed ~n_nodes () in
+  let parts = wire ~hwg_config ~detector_config ~callbacks (Sim_rt.rt engine) in
+  {
+    engine;
+    obs;
+    transport = parts.p_transport;
+    detectors = parts.p_detectors;
+    hwgs = parts.p_hwgs;
+    recorder = parts.p_recorder;
+  }
+
+let run t span = Sim_rt.run_span t.engine span
 
 let settle _ = Time.sec 4
 
 let converged t group =
-  let topology = Engine.topology t.engine in
+  let topology = Sim_rt.topology t.engine in
   let nodes = Topology.all_nodes topology in
   let classes =
     (* distinct connectivity classes among alive nodes *)

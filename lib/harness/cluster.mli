@@ -1,11 +1,30 @@
 (** Assembles a simulated cluster: engine, transport fabric, one failure
     detector and one HWG service per node, plus a shared trace recorder.
-    Used by tests, examples and the benchmark harness. *)
+    Used by tests, examples and the benchmark harness.
+
+    {!wire} assembles the per-node services on any runtime backend;
+    {!create} is the sim fixture. *)
 
 open Plwg_sim
 
+type parts = {
+  p_transport : Plwg_transport.Transport.t;
+  p_detectors : Plwg_detector.Detector.t array;
+  p_hwgs : Plwg_vsync.Hwg.t array;
+  p_recorder : Plwg_vsync.Recorder.t;
+}
+(** The HWG stack above the runtime, backend-agnostic. *)
+
+val wire :
+  ?hwg_config:Plwg_vsync.Hwg.config ->
+  ?detector_config:Plwg_detector.Detector.config ->
+  ?callbacks:(Node_id.t -> Plwg_vsync.Hwg.callbacks) ->
+  Plwg_runtime.Rt.t ->
+  parts
+(** One detector and one HWG service per runtime node. *)
+
 type t = {
-  engine : Engine.t;
+  engine : Plwg_runtime.Sim_rt.t;
   obs : Plwg_obs.t option;  (** trace sink + metrics, when attached *)
   transport : Plwg_transport.Transport.t;
   detectors : Plwg_detector.Detector.t array;

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 
@@ -25,7 +26,7 @@ let run ~mode ~n ~seed =
   let probe_deliveries : (int, (Node_id.t * Time.t) list ref) Hashtbl.t = Hashtbl.create 64 in
   let goodput = ref 0 in
   let stack_ref = ref None in
-  let now () = match !stack_ref with Some s -> Engine.now s.Stack.engine | None -> Time.zero in
+  let now () = match !stack_ref with Some s -> Sim_rt.now s.Stack.engine | None -> Time.zero in
   let callbacks node =
     {
       Service.on_view = (fun _ _ -> ());
@@ -61,15 +62,15 @@ let run ~mode ~n ~seed =
      remaining members join --- *)
   List.iteri
     (fun i g ->
-      let (_ : Engine.cancel) =
-        Engine.after stack.Stack.engine (Time.ms (250 * i)) (fun () -> Service.join stack.Stack.services.(0) g)
+      let (_ : Sim_rt.cancel) =
+        Sim_rt.after stack.Stack.engine (Time.ms (250 * i)) (fun () -> Service.join stack.Stack.services.(0) g)
       in
       ())
     groups_a;
   List.iteri
     (fun i g ->
-      let (_ : Engine.cancel) =
-        Engine.after stack.Stack.engine (Time.ms (250 * i)) (fun () -> Service.join stack.Stack.services.(4) g)
+      let (_ : Sim_rt.cancel) =
+        Sim_rt.after stack.Stack.engine (Time.ms (250 * i)) (fun () -> Service.join stack.Stack.services.(4) g)
       in
       ())
     groups_b;
@@ -115,11 +116,11 @@ let run ~mode ~n ~seed =
         (match Service.view_of stack.Stack.services.(sender) g with
         | Some _ -> Service.send stack.Stack.services.(sender) g (Bg !counter)
         | None -> ());
-        let (_ : Engine.cancel) = Engine.after stack.Stack.engine period fire in
+        let (_ : Sim_rt.cancel) = Sim_rt.after stack.Stack.engine period fire in
         ()
       end
     in
-    let (_ : Engine.cancel) = Engine.after stack.Stack.engine (Time.us (97 * sender)) fire in
+    let (_ : Sim_rt.cancel) = Sim_rt.after stack.Stack.engine (Time.us (97 * sender)) fire in
     ()
   in
   (* --- latency phase: light background load on every group, probes on a_1 --- *)
@@ -129,11 +130,11 @@ let run ~mode ~n ~seed =
   let probes = 60 in
   let rec send_probe k =
     if k <= probes then begin
-      Hashtbl.replace probe_sent k (Engine.now stack.Stack.engine);
+      Hashtbl.replace probe_sent k (Sim_rt.now stack.Stack.engine);
       (match Service.view_of stack.Stack.services.(0) (group_a 1) with
       | Some _ -> Service.send stack.Stack.services.(0) (group_a 1) (Probe k)
       | None -> ());
-      let (_ : Engine.cancel) = Engine.after stack.Stack.engine (Time.ms 50) (fun () -> send_probe (k + 1)) in
+      let (_ : Sim_rt.cancel) = Sim_rt.after stack.Stack.engine (Time.ms 50) (fun () -> send_probe (k + 1)) in
       ()
     end
   in
@@ -179,10 +180,10 @@ let run ~mode ~n ~seed =
             && (match status with Plwg_detector.Detector.Unreachable -> true | Reachable -> false)
             && not (Hashtbl.mem detection node)
           then
-            Hashtbl.replace detection node (Engine.now stack.Stack.engine)))
+            Hashtbl.replace detection node (Sim_rt.now stack.Stack.engine)))
     survivors;
-  let crash_time = Engine.now stack.Stack.engine in
-  Engine.crash stack.Stack.engine 3;
+  let crash_time = Sim_rt.now stack.Stack.engine in
+  Sim_rt.crash stack.Stack.engine 3;
   Stack.run stack (Time.sec 15);
   let recovery_of_group g =
     (* per survivor: first view installed after the crash that excludes

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Server = Plwg_naming.Server
@@ -43,15 +44,15 @@ let run ?obs ?(seed = 90) () =
   Stack.run stack (Time.sec 8);
   let hwg_1 = Option.get (Service.mapping_of services.(0) lwg_a) in
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
   Stack.run stack (Time.sec 6);
   (* partition p' crosses its mappings *)
   Service.request_switch services.(2) lwg_a hwg_2;
   Service.request_switch services.(2) lwg_b hwg_1;
   Stack.run stack (Time.sec 10);
-  Engine.heal stack.Stack.engine;
-  let heal_time = Engine.now stack.Stack.engine in
-  let since_heal () = Time.to_float_ms (Time.diff (Engine.now stack.Stack.engine) heal_time) in
+  Sim_rt.heal stack.Stack.engine;
+  let heal_time = Sim_rt.now stack.Stack.engine in
+  let since_heal () = Time.to_float_ms (Time.diff (Sim_rt.now stack.Stack.engine) heal_time) in
   ignore hwg_1;
   ignore hwg_2;
   let dbs () = List.map Server.db stack.Stack.ns_servers in
@@ -93,7 +94,7 @@ let run ?obs ?(seed = 90) () =
           if consistent database lwg_a && consistent database lwg_b then capture "3) switched LwGs" database)
         (dbs ());
       if hwgs_merged () then capture "2) merged HwGs" (db ());
-      let (_ : Engine.cancel) = Engine.after stack.Stack.engine (Time.ms 1) observe in
+      let (_ : Sim_rt.cancel) = Sim_rt.after stack.Stack.engine (Time.ms 1) observe in
       ()
     end
   in

@@ -1,4 +1,6 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
+module Sim_rt = Plwg_runtime.Sim_rt
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
 module Recorder = Plwg_vsync.Recorder
@@ -8,8 +10,23 @@ module Client = Plwg_naming.Client
 
 type service_mode = Direct | Static | Dynamic
 
+(* Backend-agnostic wiring: everything above the runtime, shared by the
+   sim fixture below and the conformance harness that runs the same
+   stack on the multi-domain backend. *)
+type parts = {
+  p_transport : Transport.t;
+  p_detectors : Detector.t array;
+  p_services : Service.t array;
+  p_ns_servers : Server.t list;
+  p_ns_clients : Client.t array;
+  p_recorder : Recorder.t;
+  p_hwg_recorder : Recorder.t;
+  p_app_nodes : Node_id.t list;
+  p_server_nodes : Node_id.t list;
+}
+
 type t = {
-  engine : Engine.t;
+  engine : Sim_rt.t;
   obs : Plwg_obs.t option;
   transport : Transport.t;
   detectors : Detector.t array;
@@ -24,19 +41,22 @@ type t = {
 
 let static_hwg = { Plwg_vsync.Types.Gid.seq = 500_000; origin = 0 }
 
-let create ?obs ?(model = Model.default) ?(seed = 42) ?(config = Service.default_config)
-    ?(hwg_config = Plwg_vsync.Hwg.default_config) ?(detector_config = Detector.default_config)
-    ?(ns_config = Server.default_config) ?(n_servers = 2) ?(callbacks = fun _ -> Service.no_callbacks) ~mode
-    ~n_app () =
-  let with_servers = match mode with Dynamic -> n_servers | Direct | Static -> 0 in
-  let n_nodes = n_app + with_servers in
-  let engine = Engine.create ?obs ~model ~seed ~n_nodes () in
-  let transport = Transport.create engine in
+let wire ?(config = Service.default_config) ?(hwg_config = Plwg_vsync.Hwg.default_config)
+    ?(detector_config = Detector.default_config) ?(ns_config = Server.default_config)
+    ?(callbacks = fun _ -> Service.no_callbacks) ~mode ~n_app rt =
+  (* Node layout: app nodes are [0 .. n_app-1]; whatever the runtime has
+     beyond them are naming replicas (Dynamic mode only). *)
+  let n_nodes = Rt.n_nodes rt in
+  let with_servers = n_nodes - n_app in
+  (match mode with
+  | Dynamic when with_servers <= 0 -> invalid_arg "Stack.wire: Dynamic mode needs naming replica nodes"
+  | Dynamic | Direct | Static -> ());
+  let transport = Transport.create rt in
   let recorder = Recorder.create () in
   let hwg_recorder = Recorder.create () in
   let detectors = Array.init n_nodes (fun node -> Detector.create ~config:detector_config transport node) in
   let app_nodes = List.init n_app (fun i -> i) in
-  let server_nodes = List.init with_servers (fun i -> n_app + i) in
+  let server_nodes = match mode with Dynamic -> List.init with_servers (fun i -> n_app + i) | Direct | Static -> [] in
   let ns_servers =
     List.map
       (fun node ->
@@ -62,12 +82,44 @@ let create ?obs ?(model = Model.default) ?(seed = 42) ?(config = Service.default
           ~hwg_recorder:(Recorder.hook hwg_recorder) ~mode:service_mode ~transport ~detector:detectors.(node) ?ns
           (callbacks node) node)
   in
-  { engine; obs; transport; detectors; services; ns_servers; ns_clients; recorder; hwg_recorder; app_nodes; server_nodes }
+  {
+    p_transport = transport;
+    p_detectors = detectors;
+    p_services = services;
+    p_ns_servers = ns_servers;
+    p_ns_clients = ns_clients;
+    p_recorder = recorder;
+    p_hwg_recorder = hwg_recorder;
+    p_app_nodes = app_nodes;
+    p_server_nodes = server_nodes;
+  }
 
-let run t span = Engine.run_span t.engine span
+let create ?obs ?(model = Model.default) ?(seed = 42) ?(config = Service.default_config)
+    ?(hwg_config = Plwg_vsync.Hwg.default_config) ?(detector_config = Detector.default_config)
+    ?(ns_config = Server.default_config) ?(n_servers = 2) ?(callbacks = fun _ -> Service.no_callbacks) ~mode
+    ~n_app () =
+  let with_servers = match mode with Dynamic -> n_servers | Direct | Static -> 0 in
+  let n_nodes = n_app + with_servers in
+  let engine = Sim_rt.create ?obs ~model ~seed ~n_nodes () in
+  let parts = wire ~config ~hwg_config ~detector_config ~ns_config ~callbacks ~mode ~n_app (Sim_rt.rt engine) in
+  {
+    engine;
+    obs;
+    transport = parts.p_transport;
+    detectors = parts.p_detectors;
+    services = parts.p_services;
+    ns_servers = parts.p_ns_servers;
+    ns_clients = parts.p_ns_clients;
+    recorder = parts.p_recorder;
+    hwg_recorder = parts.p_hwg_recorder;
+    app_nodes = parts.p_app_nodes;
+    server_nodes = parts.p_server_nodes;
+  }
+
+let run t span = Sim_rt.run_span t.engine span
 
 let lwg_converged t lwg =
-  let topology = Engine.topology t.engine in
+  let topology = Sim_rt.topology t.engine in
   let classes =
     List.filter_map
       (fun node ->

@@ -1,14 +1,44 @@
 (** Full-stack cluster: application nodes running the light-weight group
     service (plus detector + transport), and dedicated naming-service
     replica nodes.  The standard fixture for LWG tests, examples and the
-    paper's experiments. *)
+    paper's experiments.
+
+    {!wire} assembles the protocol stack on any runtime backend;
+    {!create} is the sim fixture (engine + wiring + driver surface). *)
 
 open Plwg_sim
 
 type service_mode = Direct | Static | Dynamic
 
+type parts = {
+  p_transport : Plwg_transport.Transport.t;
+  p_detectors : Plwg_detector.Detector.t array;  (** indexed by node id *)
+  p_services : Plwg.Service.t array;  (** indexed by app node id *)
+  p_ns_servers : Plwg_naming.Server.t list;
+  p_ns_clients : Plwg_naming.Client.t array;
+  p_recorder : Plwg_vsync.Recorder.t;  (** LWG-level events *)
+  p_hwg_recorder : Plwg_vsync.Recorder.t;  (** carrier (HWG) level events *)
+  p_app_nodes : Node_id.t list;
+  p_server_nodes : Node_id.t list;
+}
+(** The protocol stack above the runtime, backend-agnostic. *)
+
+val wire :
+  ?config:Plwg.Service.config ->
+  ?hwg_config:Plwg_vsync.Hwg.config ->
+  ?detector_config:Plwg_detector.Detector.config ->
+  ?ns_config:Plwg_naming.Server.config ->
+  ?callbacks:(Node_id.t -> Plwg.Service.callbacks) ->
+  mode:service_mode ->
+  n_app:int ->
+  Plwg_runtime.Rt.t ->
+  parts
+(** Wire the full stack onto a runtime.  App nodes are [0 .. n_app-1];
+    any remaining runtime nodes become naming replicas (required —
+    and only used — in [Dynamic] mode). *)
+
 type t = {
-  engine : Engine.t;
+  engine : Plwg_runtime.Sim_rt.t;
   obs : Plwg_obs.t option;  (** trace sink + metrics, when attached *)
   transport : Plwg_transport.Transport.t;
   detectors : Plwg_detector.Detector.t array;  (** indexed by node id *)

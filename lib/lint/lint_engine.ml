@@ -121,6 +121,16 @@ let gid_to_string_owner path =
 
 let under_lib path = match String.split_on_char '/' path with "lib" :: _ -> true | _ -> false
 
+(* The only directories allowed to name the concrete scheduler: the sim
+   that implements it and the runtime layer that wraps it.  Everything
+   else must go through Plwg_runtime.Rt — the runtime-boundary rule. *)
+let runtime_boundary_exempt path =
+  match String.split_on_char '/' path with
+  | "lib" :: ("sim" | "runtime") :: _ -> true
+  | _ -> false
+
+let mentions_engine segments = List.exists (String.equal "Engine") segments
+
 let is_transition_attr (attr : attribute) =
   match attr.attr_name.txt with "transition" | "plwg.transition" -> true | _ -> false
 
@@ -222,7 +232,13 @@ let check_dispatch ctx loc cases =
       ctx.families
   end
 
+let check_runtime_boundary ctx (loc : Location.t) segments =
+  if mentions_engine segments && not (runtime_boundary_exempt ctx.path) then
+    add ctx Lint_rules.Runtime_boundary loc
+      "direct Engine access outside lib/sim/ and lib/runtime/; reach the scheduler through Plwg_runtime.Rt"
+
 let check_ident ctx loc path ~applied ~in_string_boundary =
+  check_runtime_boundary ctx loc (String.split_on_char '.' path);
   (match gid_to_string_owner path with
   | Some owner when under_lib ctx.path && not in_string_boundary ->
       add ctx Lint_rules.Gid_string_boundary loc
@@ -258,6 +274,10 @@ let lint_ast ctx structure =
       val mutable fn_pos = false
       val mutable in_transition = false
       val mutable in_string_boundary = false
+
+      method! longident_loc lid =
+        check_runtime_boundary ctx lid.loc (longident_segments lid.txt);
+        super#longident_loc lid
 
       method! value_binding vb =
         let saved = in_transition in

@@ -27,6 +27,7 @@ type id =
   | Lstate_mutation
   | Missing_mli
   | Gid_string_boundary
+  | Runtime_boundary
   | Shared_cell
   | Hot_path_alloc
 
@@ -51,6 +52,7 @@ let all =
     Lstate_mutation;
     Missing_mli;
     Gid_string_boundary;
+    Runtime_boundary;
     Shared_cell;
     Hot_path_alloc;
   ]
@@ -64,6 +66,7 @@ let name = function
   | Lstate_mutation -> "lstate-mutation"
   | Missing_mli -> "missing-mli"
   | Gid_string_boundary -> "gid-string-boundary"
+  | Runtime_boundary -> "runtime-boundary"
   | Shared_cell -> "shared-cell"
   | Hot_path_alloc -> "hot-path-alloc"
 
@@ -92,6 +95,9 @@ let describe = function
       "group/view ids in lib/ must stay typed (Gid.t/View_id.t or their int codes); render with \
        to_string only inside trace boundaries (Engine.trace thunks, Logs, Payload.register_printer) \
        or under an audited suppression"
+  | Runtime_boundary ->
+      "direct Engine access outside lib/sim/ and lib/runtime/ couples protocol code to the concrete \
+       scheduler; go through the Plwg_runtime.Rt runtime surface (Sim_rt/Domains_rt pick the backend)"
   | Shared_cell ->
       "a module-global mutable cell (ref, table, array, or a global holding a mutable-bearing \
        type) is shared state under a parallel backend; annotate it [@@shared_cell \"reason\"] \

@@ -12,6 +12,9 @@ type id =
   | Gid_string_boundary
       (** [Gid.to_string]/[View_id.to_string] in lib/ code outside the
           trace boundary (Engine.trace thunks, Logs, Payload printers) *)
+  | Runtime_boundary
+      (** direct [Engine.] access outside [lib/sim/] and [lib/runtime/];
+          protocol layers must code against [Plwg_runtime.Rt] *)
   | Shared_cell
       (** typed engine: module-global mutable cell without a
           [\@\@shared_cell] audit annotation (domain-safety report) *)

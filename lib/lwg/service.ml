@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 open Plwg_vsync.Types
 open Messages
 module Hwg = Plwg_vsync.Hwg
@@ -106,7 +107,7 @@ type t = {
   node : Node_id.t;
   mode : mode;
   config : config;
-  engine : Engine.t;
+  rt : Rt.t;
   callbacks : callbacks;
   recorder : (Time.t -> Hwg.event -> unit) option;
   ns : Client.t option;
@@ -126,7 +127,7 @@ let hwg_service t = t.hwg
 let switch_count t = t.switches
 let merge_count t = t.merges
 
-let record t event = match t.recorder with Some r -> r (Engine.now t.engine) event | None -> ()
+let record t event = match t.recorder with Some r -> r (Rt.now t.rt) event | None -> ()
 
 let lstate_of t lwg = Hashtbl.find_opt t.lstates (Gid.code lwg)
 
@@ -258,8 +259,8 @@ let[@transition] install_lview t (l : lstate) view =
   l.delivered <- Node_id.Map.empty;
   l.pend_cur <- [];
   record t (Hwg.Installed { node = t.node; view });
-  Engine.count t.engine "lwg.views_installed";
-  Engine.trace t.engine (fun () ->
+  Rt.count t.rt "lwg.views_installed";
+  Rt.trace t.rt (fun () ->
       Plwg_obs.Event.View_installed
         {
           node = t.node;
@@ -286,7 +287,7 @@ let[@transition] end_lflush t (l : lstate) ~outcome =
   | None -> ()
   | Some flush ->
       l.flush <- None;
-      Engine.trace t.engine (fun () ->
+      Rt.trace t.rt (fun () ->
           Plwg_obs.Event.Flush_end { node = t.node; group = Gid.to_string l.lwg; epoch = flush.lf_epoch; outcome })
 
 let remove_lstate t (l : lstate) ~installed =
@@ -359,8 +360,8 @@ let[@transition] start_lflush t (l : lstate) ~new_members ~switch =
           };
       l.pending_joiners <- Node_id.Set.empty;
       l.pending_leavers <- Node_id.Set.empty;
-      Engine.count t.engine "lwg.flushes_started";
-      Engine.trace t.engine (fun () ->
+      Rt.count t.rt "lwg.flushes_started";
+      Rt.trace t.rt (fun () ->
           Plwg_obs.Event.Flush_begin { node = t.node; group = Gid.to_string l.lwg; epoch = l.epoch });
       multicast_h t hwg (L_stop { lwg = l.lwg; epoch = l.epoch; lview = view.View.id })
   | _, _, _ -> ()
@@ -370,7 +371,7 @@ let start_switch t (l : lstate) target =
   | Some view when Option.is_none l.flush && (match l.status with L_normal -> true | _ -> false) ->
       Logs.debug (fun m -> m "n%d start_switch %s -> %s" t.node (Gid.to_string l.lwg) (Gid.to_string target));
       t.switches <- t.switches + 1;
-      Engine.count t.engine "lwg.switches";
+      Rt.count t.rt "lwg.switches";
       start_lflush t l ~new_members:(View.members_set view) ~switch:(Some target)
   | Some _ | None -> ()
 
@@ -457,7 +458,7 @@ let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
           match l.status with
           | Announcing _ | Joining_hwg | Resolving _ ->
               if Option.is_some t.state_callbacks && Option.is_none switch_to then
-                l.awaiting_state <- Some (Engine.now t.engine);
+                l.awaiting_state <- Some (Rt.now t.rt);
               l.status <- Draining { d_view = view; d_cut = Node_id.Map.empty; d_switch = switch_to; d_leaving = false };
               try_finish_drain t l
           | L_normal | L_stopped | Draining _ | Migrating -> ())
@@ -474,8 +475,8 @@ let[@transition] handle_lview t ~carrier ~lwg ~epoch ~view ~cut ~switch_to =
 let request_merge t carrier =
   let hs = hstate_of t carrier in
   if not hs.sent_all_views then begin
-    Engine.count t.engine "lwg.local_discoveries";
-    Engine.trace t.engine (fun () ->
+    Rt.count t.rt "lwg.local_discoveries";
+    Rt.trace t.rt (fun () ->
         Plwg_obs.Event.Reconcile_step
           { node = t.node; step = Plwg_obs.Event.Local_discovery; group = Gid.to_string carrier });
     multicast_h t carrier L_merge_views
@@ -656,8 +657,8 @@ let[@transition] compute_merges t hs hview =
                       Logs.debug (fun m -> m "n%d lwg-merge %s on %s" t.node (Gid.to_string lwg) (Gid.to_string hs.hgid));
                       List.iter (fun vid -> l.ancestors <- View_id.Set.add vid l.ancestors) preds;
                       t.merges <- t.merges + 1;
-                      Engine.count t.engine "lwg.merges";
-                      Engine.trace t.engine (fun () ->
+                      Rt.count t.rt "lwg.merges";
+                      Rt.trace t.rt (fun () ->
                           Plwg_obs.Event.Reconcile_step
                             { node = t.node; step = Plwg_obs.Event.Merge_views; group = Gid.to_string lwg });
                       (match
@@ -777,7 +778,7 @@ let[@transition] handle_hwg_view t hgid hview =
     (fun _ (l : lstate) ->
       match (l.status, l.hwg) with
       | Joining_hwg, Some h when Gid.equal h hgid && View.mem t.node hview ->
-          l.status <- Announcing { a_since = Engine.now t.engine };
+          l.status <- Announcing { a_since = Rt.now t.rt };
           multicast_h t hgid (L_join_req { lwg = l.lwg; joiner = t.node })
       | _, _ -> ())
     t.lstates;
@@ -870,7 +871,7 @@ let[@transition] proceed_with_mapping t (l : lstate) target =
   l.hwg <- Some target;
   ignore (hstate_of t target);
   if Hwg.is_member t.hwg target then begin
-    l.status <- Announcing { a_since = Engine.now t.engine };
+    l.status <- Announcing { a_since = Rt.now t.rt };
     multicast_h t target (L_join_req { lwg = l.lwg; joiner = t.node })
   end
   else begin
@@ -977,8 +978,8 @@ let handle_multiple_mappings t lwg entries =
       | L_normal, Some view, Some target
         when Node_id.equal (lwg_coordinator view) t.node && Option.is_none l.flush && not (Option.equal Gid.equal l.hwg (Some target.Db.hwg)) ->
           Logs.debug (fun m -> m "n%d multiple-mappings switch %s" t.node (Gid.to_string lwg));
-          Engine.count t.engine "lwg.mapping_reconciliations";
-          Engine.trace t.engine (fun () ->
+          Rt.count t.rt "lwg.mapping_reconciliations";
+          Rt.trace t.rt (fun () ->
               Plwg_obs.Event.Reconcile_step
                 { node = t.node; step = Plwg_obs.Event.Mapping_reconciliation; group = Gid.to_string lwg });
           start_switch t l target.Db.hwg
@@ -1019,8 +1020,8 @@ let run_policies_now t =
                   with
                   | `Stay -> ()
                   | `Switch_to target ->
-                      Engine.count t.engine "policy.interference";
-                      Engine.trace t.engine (fun () ->
+                      Rt.count t.rt "policy.interference";
+                      Rt.trace t.rt (fun () ->
                           Plwg_obs.Event.Policy_decision
                             {
                               node = t.node;
@@ -1031,8 +1032,8 @@ let run_policies_now t =
                       start_switch t l target
                   | `Create_new ->
                       let target = Hwg.fresh_gid t.hwg in
-                      Engine.count t.engine "policy.interference";
-                      Engine.trace t.engine (fun () ->
+                      Rt.count t.rt "policy.interference";
+                      Rt.trace t.rt (fun () ->
                           Plwg_obs.Event.Policy_decision
                             {
                               node = t.node;
@@ -1055,8 +1056,8 @@ let run_policies_now t =
           | `Keep -> ()
           | `Collapse_into winner ->
               let loser = if Gid.equal winner g1 then g2 else g1 in
-              Engine.count t.engine "policy.share";
-              Engine.trace t.engine (fun () ->
+              Rt.count t.rt "policy.share";
+              Rt.trace t.rt (fun () ->
                   Plwg_obs.Event.Policy_decision
                     {
                       node = t.node;
@@ -1074,7 +1075,7 @@ let run_policies_now t =
                 t.lstates)
         (pairs candidates);
       (* shrink rule, per HWG *)
-      let now = Engine.now t.engine in
+      let now = Rt.now t.rt in
       let to_leave = ref [] in
       Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
         (fun _ hs ->
@@ -1090,8 +1091,8 @@ let run_policies_now t =
         t.hstates;
       List.iter
         (fun hgid ->
-          Engine.count t.engine "policy.shrink";
-          Engine.trace t.engine (fun () ->
+          Rt.count t.rt "policy.shrink";
+          Rt.trace t.rt (fun () ->
               Plwg_obs.Event.Policy_decision
                 { node = t.node; rule = "shrink"; subject = Gid.to_string hgid; decision = "leave-hwg" });
           Hwg.leave t.hwg hgid;
@@ -1105,7 +1106,7 @@ let run_policies_now t =
 let state_grace = Time.sec 2
 
 let[@transition] tick t =
-  let now = Engine.now t.engine in
+  let now = Rt.now t.rt in
   Plwg_util.Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (l : lstate) ->
       (* best-effort state transfer: don't hold deliveries forever if the
@@ -1204,7 +1205,7 @@ let join ?(ordering = Fifo) t lwg =
               lwg;
               ordering = (match ordering with Total -> invalid_arg "Lwg.join: Total ordering is only available at the HWG level" | o -> o);
               hwg = None;
-              status = Resolving { r_since = Engine.now t.engine };
+              status = Resolving { r_since = Rt.now t.rt };
               view = None;
               ancestors = View_id.Set.empty;
               provisional = None;
@@ -1328,7 +1329,7 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
   (match (mode, ns) with
   | Dynamic, None -> invalid_arg "Lwg.create: Dynamic mode requires a naming-service client"
   | _, _ -> ());
-  let engine = Transport.engine transport in
+  let rt = Transport.runtime transport in
   let t_ref = ref None in
   let with_t f = match !t_ref with Some t -> f t | None -> () in
   let hwg_callbacks =
@@ -1355,7 +1356,7 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
       node;
       mode;
       config;
-      engine;
+      rt;
       callbacks;
       recorder = (match mode with Direct -> None | Static _ | Dynamic -> recorder);
       ns;
@@ -1379,24 +1380,24 @@ let create ?(config = default_config) ?hwg_config ?recorder ?hwg_recorder ~mode 
       (* While this node was crashed the rest of each group kept
          changing views; the frozen local views must not be used to
          mint successor ids (see [shrink_check]). *)
-      Engine.on_recover engine node (fun () -> mark_lineage_rejoined t node);
+      Rt.on_recover rt node (fun () -> mark_lineage_rejoined t node);
       let rec tick_loop () =
-        if Topology.is_alive (Engine.topology engine) node then tick t;
-        Engine.after_ engine (Time.ms 150) tick_loop
+        if Rt.is_alive t.rt node then tick t;
+        Rt.at_node_ t.rt node (Time.ms 150) tick_loop
       in
       let rec gossip_loop () =
-        if Topology.is_alive (Engine.topology engine) node then gossip t;
-        Engine.after_ engine config.gossip_period gossip_loop
+        if Rt.is_alive t.rt node then gossip t;
+        Rt.at_node_ t.rt node config.gossip_period gossip_loop
       in
       let rec policy_loop () =
-        if Topology.is_alive (Engine.topology engine) node then run_policies_now t;
-        Engine.after_ engine config.policy_period policy_loop
+        if Rt.is_alive t.rt node then run_policies_now t;
+        Rt.at_node_ t.rt node config.policy_period policy_loop
       in
       let jitter period salt = Time.us (((node * 7919) + salt) mod period) in
-      Engine.after_ engine (jitter (Time.ms 150) 13) tick_loop;
-      Engine.after_ engine (jitter config.gossip_period 101) gossip_loop;
+      Rt.at_node_ t.rt node (jitter (Time.ms 150) 13) tick_loop;
+      Rt.at_node_ t.rt node (jitter config.gossip_period 101) gossip_loop;
       (* the first policy run waits one full period: evaluating the
          Figure 1 rules while groups are still forming causes exactly
          the switch cascades the paper's slow period is meant to avoid *)
-      Engine.after_ engine (config.policy_period + jitter config.policy_period 977) policy_loop);
+      Rt.at_node_ t.rt node (config.policy_period + jitter config.policy_period 977) policy_loop);
   t

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 open Plwg_vsync.Types
 open Protocol
 module Transport = Plwg_transport.Transport
@@ -16,12 +17,12 @@ type pending = {
   started : Time.t;
   mutable attempt : int;
   mutable last_server : Node_id.t option;
-  mutable timer : Engine.cancel;
+  mutable timer : Rt.cancel;
 }
 
 type t = {
   node : Node_id.t;
-  engine : Engine.t;
+  rt : Rt.t;
   endpoint : Transport.endpoint;
   detector : Detector.t;
   config : config;
@@ -59,8 +60,8 @@ let timeout_for t p =
    (as this code once did) left them waiting forever. *)
 let give_up t req p =
   Hashtbl.remove t.pending req;
-  Engine.count t.engine "ns.give_ups";
-  Engine.trace t.engine (fun () -> Plwg_obs.Event.Ns_give_up { node = t.node; req; attempts = p.attempt });
+  Rt.count t.rt "ns.give_ups";
+  Rt.trace t.rt (fun () -> Plwg_obs.Event.Ns_give_up { node = t.node; req; attempts = p.attempt });
   match p.reply with Entries k -> k [] | Ack k -> k false
 
 let rec transmit t req p =
@@ -68,14 +69,14 @@ let rec transmit t req p =
   | None -> give_up t req p (* no servers configured *)
   | Some server ->
       p.last_server <- Some server;
-      Engine.count t.engine (if p.attempt = 0 then "ns.requests" else "ns.retries");
-      Engine.trace t.engine (fun () ->
+      Rt.count t.rt (if p.attempt = 0 then "ns.requests" else "ns.retries");
+      Rt.trace t.rt (fun () ->
           let op = Plwg_obs.Event.kind_prefix (Payload.to_string (p.make req)) in
           if p.attempt = 0 then Plwg_obs.Event.Ns_request { node = t.node; req; op; server }
           else Plwg_obs.Event.Ns_retry { node = t.node; req; attempt = p.attempt; server });
       Transport.send t.endpoint ~dst:server (p.make req);
       p.timer <-
-        Engine.after_node t.engine t.node (timeout_for t p) (fun () ->
+        Rt.after_node t.rt t.node (timeout_for t p) (fun () ->
             if Hashtbl.mem t.pending req then begin
               p.attempt <- p.attempt + 1;
               if p.attempt >= t.config.max_attempts then give_up t req p else transmit t req p
@@ -84,7 +85,7 @@ let rec transmit t req p =
 let request t make reply =
   let req = t.next_req in
   t.next_req <- req + 1;
-  let p = { make; reply; started = Engine.now t.engine; attempt = 0; last_server = None; timer = (fun () -> ()) } in
+  let p = { make; reply; started = Rt.now t.rt; attempt = 0; last_server = None; timer = (fun () -> ()) } in
   Hashtbl.replace t.pending req p;
   transmit t req p
 
@@ -103,9 +104,9 @@ let settle t req k =
   | Some p ->
       p.timer ();
       Hashtbl.remove t.pending req;
-      let rtt = Time.diff (Engine.now t.engine) p.started in
-      Engine.trace t.engine (fun () -> Plwg_obs.Event.Ns_reply { node = t.node; req; rtt_us = rtt });
-      Engine.observe t.engine "ns.rtt_us" (float_of_int rtt);
+      let rtt = Time.diff (Rt.now t.rt) p.started in
+      Rt.trace t.rt (fun () -> Plwg_obs.Event.Ns_reply { node = t.node; req; rtt_us = rtt });
+      Rt.observe t.rt "ns.rtt_us" (float_of_int rtt);
       k p
   | None -> ()
 
@@ -115,8 +116,8 @@ let handle t payload =
       settle t req (fun p -> match p.reply with Entries k -> k entries | Ack k -> k true)
   | Ns_ack { req } -> settle t req (fun p -> match p.reply with Ack k -> k true | Entries k -> k [])
   | Ns_multiple_mappings { lwg; entries } ->
-      Engine.count t.engine "ns.multiple_mappings";
-      Engine.trace t.engine (fun () ->
+      Rt.count t.rt "ns.multiple_mappings";
+      Rt.trace t.rt (fun () ->
           Plwg_obs.Event.Reconcile_step
             { node = t.node; step = Plwg_obs.Event.Global_discovery; group = Gid.to_string lwg });
       List.iter (fun handler -> handler lwg entries) (List.rev t.mm_handlers)
@@ -126,16 +127,16 @@ let handle t payload =
   | _ -> ()
 
 let create ?(config = default_config) ~transport ~detector ~servers node =
-  let engine = Transport.engine transport in
+  let rt = Transport.runtime transport in
   let endpoint = Transport.endpoint transport node in
   let t =
     {
       node;
-      engine;
+      rt;
       endpoint;
       detector;
       config;
-      rng = Plwg_util.Rng.split (Engine.rng engine);
+      rng = Plwg_util.Rng.split (Rt.rng_node rt node);
       servers;
       next_req = 0;
       pending = Hashtbl.create 16;
@@ -146,7 +147,7 @@ let create ?(config = default_config) ~transport ~detector ~servers node =
   (* A retry timer that fired while this node was crashed was skipped,
      leaving its request pending with no timer.  On recovery, charge the
      lost window as a timed-out attempt and resume the retry schedule. *)
-  Engine.on_recover engine node (fun () ->
+  Rt.on_recover rt node (fun () ->
       let stuck = Plwg_util.Tbl.bindings_sorted ~cmp:Int.compare t.pending in
       List.iter
         (fun (req, p) ->

@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 open Protocol
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
@@ -9,7 +10,7 @@ let default_config = { gossip_period = Time.ms 400 }
 
 type t = {
   node : Node_id.t;
-  engine : Engine.t;
+  rt : Rt.t;
   endpoint : Transport.endpoint;
   detector : Detector.t;
   config : config;
@@ -27,8 +28,8 @@ let db t = t.db
 let notify_conflicts t =
   List.iter
     (fun lwg ->
-      Engine.count t.engine "ns.conflicts_notified";
-      Engine.trace t.engine (fun () ->
+      Rt.count t.rt "ns.conflicts_notified";
+      Rt.trace t.rt (fun () ->
           Plwg_obs.Event.Ns_conflict { server = t.node; lwg = Plwg_vsync.Types.Gid.to_string lwg });
       let entries = Db.read t.db lwg in
       let targets =
@@ -38,7 +39,7 @@ let notify_conflicts t =
     (Db.conflicts t.db)
 
 let gossip t =
-  Engine.count t.engine "ns.gossip_rounds";
+  Rt.count t.rt "ns.gossip_rounds";
   let reachable = Detector.reachable_set t.detector in
   List.iter
     (fun peer ->
@@ -69,18 +70,17 @@ let handle t ~src payload =
   | _ -> ()
 
 let create ?(config = default_config) ~transport ~detector ~peers node =
-  let engine = Transport.engine transport in
+  let rt = Transport.runtime transport in
   let endpoint = Transport.endpoint transport node in
-  let t = { node; engine; endpoint; detector; config; peers; db = Db.create () } in
+  let t = { node; rt; endpoint; detector; config; peers; db = Db.create () } in
   Transport.on_receive endpoint (fun ~src payload -> handle t ~src payload);
   let rec loop () =
-    if Topology.is_alive (Engine.topology engine) node then begin
+    if Rt.is_alive rt node then begin
       gossip t;
       notify_conflicts t
     end;
-    let (_ : Engine.cancel) = Engine.after engine t.config.gossip_period loop in
-    ()
+    Rt.at_node_ rt node t.config.gossip_period loop
   in
   let stagger = Time.us (node * 211) in
-  let (_ : Engine.cancel) = Engine.after engine stagger loop in
+  Rt.at_node_ rt node stagger loop;
   t

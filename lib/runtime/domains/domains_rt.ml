@@ -1,0 +1,407 @@
+(* Multi-domain backend: a conservative parallel discrete-event
+   schedule over per-domain timing wheels.
+
+   Ownership discipline (what makes the sharing story small):
+
+   - a domain's wheel, clock, and the [busy_until] / [send_seq] /
+     [rng] slots of the nodes it owns are touched only by that domain
+     while workers run, and only by the main domain while quiescent;
+     Domain.spawn/join and the barrier mutex provide the
+     happens-before edges between those phases;
+   - the only mid-run cross-domain channel is the destination's inbox,
+     a mutex-guarded list;
+   - counters shared for bookkeeping ([sent], [delivered], ...) are
+     atomics; metrics and the trace sink are serialised (metrics under
+     a mutex, traces via per-domain buffers merged after the join).
+
+   Determinism: each domain's event order is a function of its wheel
+   content, wheel content changes only at deterministic points (its own
+   execution, plus window-boundary inbox folds sorted by
+   [(arrival, src, seq)]), and every domain executes the same window
+   sequence — so a run is reproducible for a fixed (seed, n_domains),
+   though not bit-identical to the sim's single interleaving.  The
+   conformance checker compares the two modulo per-node commutativity
+   (see DESIGN.md, "Runtime layer"). *)
+
+open Plwg_sim
+module Rng = Plwg_util.Rng
+module Wheel = Plwg_util.Wheel
+module Rt = Plwg_runtime.Rt
+
+type ev =
+  | Ev_none
+  | Ev_arrive of { src : Node_id.t; dst : Node_id.t; sent_at : Time.t; payload : Payload.t }
+  | Ev_deliver of { src : Node_id.t; dst : Node_id.t; sent_at : Time.t; payload : Payload.t }
+  | Ev_timer of { action : unit -> unit }
+
+type inbox_msg = {
+  m_arrival : Time.t;
+  m_src : Node_id.t;
+  m_seq : int;  (* per-source counter; tiebreak after (arrival, src) *)
+  m_sent_at : Time.t;
+  m_dst : Node_id.t;
+  m_payload : Payload.t;
+}
+
+type dom = {
+  idx : int;
+  wheel : ev Wheel.t;
+  mutable dnow : Time.t;
+  inbox_mutex : Mutex.t;
+  mutable inbox : inbox_msg list
+      [@shared_cell "cross-domain handoff; every access holds inbox_mutex"];
+      (* newest first; folded at window start *)
+  mutable trace_buf : (Time.t * Plwg_obs.Event.t) list;  (* newest first;
+      written only by the owner domain, read by main after join *)
+}
+
+type barrier = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  parties : int;
+  mutable waiting : int [@shared_cell "barrier state; every access holds bm"];
+  mutable phase : int [@shared_cell "barrier state; every access holds bm"];
+}
+
+type t = {
+  n_nodes : int;
+  n_domains : int;
+  model : Model.t;
+  doms : dom array;
+  node_rngs : Rng.t array;  (* slot [n] drawn only by [n]'s owner *)
+  send_seq : int array;  (* slot [n] bumped only by [n]'s owner *)
+  busy_until : Time.t array;  (* slot [n] touched only by [n]'s owner *)
+  handlers : (src:Node_id.t -> Payload.t -> unit) list array;  (* wiring-time *)
+  frozen : (src:Node_id.t -> Payload.t -> unit) array array;  (* frozen at run start *)
+  obs : Plwg_obs.t option;
+  metrics_mutex : Mutex.t;
+  sent : int Atomic.t;
+  delivered : int Atomic.t;
+  wire_dropped : int Atomic.t;
+  in_flight : int Atomic.t;
+  barrier : barrier;
+  mutable global_now : Time.t;
+}
+
+(* Which domain is executing, for [now]/[trace] called from inside a
+   handler.  The slot is domain-local, written by each worker at spawn;
+   the handle is checked so two backends in one process cannot
+   cross-talk. *)
+let dls_ctx : (Obj.t * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let exec_dom t = match Domain.DLS.get dls_ctx with Some (o, i) when o == Obj.repr t -> Some t.doms.(i) | _ -> None
+
+let create ?obs ?(model = Model.default) ?(n_domains = 2) ~seed ~n_nodes () =
+  if n_nodes <= 0 then invalid_arg "Domains_rt.create: n_nodes must be positive";
+  if n_domains <= 0 then invalid_arg "Domains_rt.create: n_domains must be positive";
+  if model.Model.link_base <= 0 then
+    invalid_arg "Domains_rt.create: model.link_base must be positive (conservative lookahead window)";
+  let n_domains = min n_domains n_nodes in
+  {
+    n_nodes;
+    n_domains;
+    model;
+    doms =
+      Array.init n_domains (fun idx ->
+          {
+            idx;
+            wheel = Wheel.create ~dummy:Ev_none ();
+            dnow = Time.zero;
+            inbox_mutex = Mutex.create ();
+            inbox = [];
+            trace_buf = [];
+          });
+    node_rngs = Array.init n_nodes (fun node -> Rng.stream ~seed node);
+    send_seq = Array.make n_nodes 0;
+    busy_until = Array.make n_nodes Time.zero;
+    handlers = Array.make n_nodes [];
+    frozen = Array.make n_nodes [||];
+    obs;
+    metrics_mutex = Mutex.create ();
+    sent = Atomic.make 0;
+    delivered = Atomic.make 0;
+    wire_dropped = Atomic.make 0;
+    in_flight = Atomic.make 0;
+    barrier = { bm = Mutex.create (); bc = Condition.create (); parties = n_domains; waiting = 0; phase = 0 };
+    global_now = Time.zero;
+  }
+
+let n_domains t = t.n_domains
+let dom_of t node = t.doms.(node mod t.n_domains)
+let now t = match exec_dom t with Some d -> d.dnow | None -> t.global_now
+let n_nodes t = t.n_nodes
+let nodes t = List.init t.n_nodes Fun.id
+let is_alive _ _ = true
+let rng_node t node = t.node_rngs.(node)
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let trace t make =
+  match t.obs with
+  | None -> ()
+  | Some o -> (
+      match exec_dom t with
+      | Some d -> d.trace_buf <- (d.dnow, make ()) :: d.trace_buf
+      | None -> Plwg_obs.Sink.emit o.Plwg_obs.sink ~at_us:t.global_now (make ()))
+
+let count ?by t name =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Mutex.lock t.metrics_mutex;
+      Plwg_obs.Metrics.incr ?by o.Plwg_obs.metrics name;
+      Mutex.unlock t.metrics_mutex
+
+let observe t name v =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Mutex.lock t.metrics_mutex;
+      Plwg_obs.Metrics.observe o.Plwg_obs.metrics name v;
+      Mutex.unlock t.metrics_mutex
+
+(* Merge per-domain buffers into the sink, ordered by
+   [(timestamp, domain)] — each buffer is already chronological, so a
+   stable sort on that key yields one deterministic global order. *)
+let flush_traces t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let tagged =
+        Array.to_list t.doms
+        |> List.concat_map (fun d ->
+               let evs = List.rev d.trace_buf in
+               d.trace_buf <- [];
+               List.map (fun (at, e) -> (at, d.idx, e)) evs)
+      in
+      let ordered =
+        List.stable_sort
+          (fun (a, da, _) (b, db, _) ->
+            let c = Time.compare a b in
+            if c <> 0 then c else Int.compare da db)
+          tagged
+      in
+      List.iter (fun (at, _, e) -> Plwg_obs.Sink.emit o.Plwg_obs.sink ~at_us:at e) ordered
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let subscribe t node handler = t.handlers.(node) <- handler :: t.handlers.(node)
+
+let freeze_handlers t =
+  for node = 0 to t.n_nodes - 1 do
+    t.frozen.(node) <- Array.of_list (List.rev t.handlers.(node))
+  done
+
+let on_recover _ _ _ = () (* no fault injection: the transition never happens *)
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let after_node_ t node span action =
+  Wheel.schedule (dom_of t node).wheel ~tick:(Time.add (now t) span) (Ev_timer { action })
+
+let after_node t node span action =
+  let d = dom_of t node in
+  let h = Wheel.schedule_handle d.wheel ~tick:(Time.add (now t) span) (Ev_timer { action }) in
+  fun () -> ignore (Wheel.cancel d.wheel h)
+
+(* Without crashes the unguarded variant coincides with the guarded
+   one; the node argument still routes it to the owning domain. *)
+let at_node_ = after_node_
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let route t ~arrival ~src ~dst ~sent_at payload =
+  let dd = dom_of t dst in
+  match exec_dom t with
+  | Some d when d == dd ->
+      (* destination lives on the executing domain: fold straight into
+         the local wheel, no lock needed *)
+      Wheel.schedule dd.wheel ~tick:arrival (Ev_arrive { src; dst; sent_at; payload })
+  | _ ->
+      let seq = t.send_seq.(src) in
+      t.send_seq.(src) <- seq + 1;
+      let msg = { m_arrival = arrival; m_src = src; m_seq = seq; m_sent_at = sent_at; m_dst = dst; m_payload = payload } in
+      Mutex.lock dd.inbox_mutex;
+      dd.inbox <- msg :: dd.inbox;
+      Mutex.unlock dd.inbox_mutex
+
+let send t ~src ~dst payload =
+  let tnow = now t in
+  if src = dst then begin
+    Atomic.incr t.sent;
+    Atomic.incr t.in_flight;
+    count t "engine.sent";
+    trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+    route t ~arrival:tnow ~src ~dst ~sent_at:tnow payload
+  end
+  else if t.model.Model.drop_prob > 0.0 && Rng.bernoulli t.node_rngs.(src) t.model.Model.drop_prob then begin
+    Atomic.incr t.sent;
+    Atomic.incr t.wire_dropped;
+    count t "engine.sent";
+    trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+    trace t (fun () ->
+        Plwg_obs.Event.Msg_dropped { src; dst; kind = Payload.to_string payload; reason = "wire" });
+    count t "engine.dropped.wire"
+  end
+  else begin
+    Atomic.incr t.sent;
+    Atomic.incr t.in_flight;
+    count t "engine.sent";
+    trace t (fun () -> Plwg_obs.Event.Msg_sent { src; dst; kind = Payload.to_string payload });
+    let jitter =
+      if t.model.Model.link_jitter = 0 then 0 else Rng.int t.node_rngs.(src) (t.model.Model.link_jitter + 1)
+    in
+    let arrival = Time.add tnow (t.model.Model.link_base + jitter) in
+    route t ~arrival ~src ~dst ~sent_at:tnow payload
+  end
+
+let multicast t ~src ~dsts payload = List.iter (fun dst -> send t ~src ~dst payload) dsts
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_wait b =
+  Mutex.lock b.bm;
+  let phase = b.phase in
+  b.waiting <- b.waiting + 1;
+  if b.waiting = b.parties then begin
+    b.waiting <- 0;
+    b.phase <- phase + 1;
+    Condition.broadcast b.bc
+  end
+  else
+    while b.phase = phase do
+      Condition.wait b.bc b.bm
+    done;
+  Mutex.unlock b.bm
+
+let fold_inbox d =
+  Mutex.lock d.inbox_mutex;
+  let msgs = d.inbox in
+  d.inbox <- [];
+  Mutex.unlock d.inbox_mutex;
+  let msgs =
+    List.sort
+      (fun a b ->
+        let c = Time.compare a.m_arrival b.m_arrival in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.m_src b.m_src in
+          if c <> 0 then c else Int.compare a.m_seq b.m_seq)
+      msgs
+  in
+  List.iter
+    (fun m ->
+      Wheel.schedule d.wheel ~tick:m.m_arrival
+        (Ev_arrive { src = m.m_src; dst = m.m_dst; sent_at = m.m_sent_at; payload = m.m_payload }))
+    msgs
+
+let deliver t d ~src ~dst ~sent_at payload =
+  Atomic.decr t.in_flight;
+  Atomic.incr t.delivered;
+  (match t.obs with
+  | None -> ()
+  | Some _ ->
+      count t "engine.delivered";
+      trace t (fun () ->
+          Plwg_obs.Event.Msg_delivered
+            { src; dst; kind = Payload.to_string payload; latency_us = Time.diff d.dnow sent_at });
+      observe t "engine.delivery_latency_us" (float_of_int (Time.diff d.dnow sent_at)));
+  let handlers = t.frozen.(dst) in
+  for i = 0 to Array.length handlers - 1 do
+    handlers.(i) ~src payload
+  done
+
+let run_window t d ~window_end =
+  let rec loop () =
+    match Wheel.pop_or d.wheel ~limit:window_end ~none:Ev_none with
+    | Ev_none -> d.dnow <- window_end
+    | ev ->
+        d.dnow <- Wheel.cur d.wheel;
+        (match ev with
+        | Ev_arrive { src; dst; sent_at; payload } ->
+            (* destination CPU: FIFO service, [proc_time] per message,
+               same queueing model as the sim *)
+            let start = max d.dnow t.busy_until.(dst) in
+            let finish = Time.add start t.model.Model.proc_time in
+            t.busy_until.(dst) <- finish;
+            Wheel.schedule d.wheel ~tick:finish (Ev_deliver { src; dst; sent_at; payload })
+        | Ev_deliver { src; dst; sent_at; payload } -> deliver t d ~src ~dst ~sent_at payload
+        | Ev_timer { action } -> action ()
+        | Ev_none -> assert false);
+        loop ()
+  in
+  loop ()
+
+let worker t d ~until =
+  Domain.DLS.set dls_ctx (Some (Obj.repr t, d.idx));
+  let width = t.model.Model.link_base in
+  let rec windows start =
+    if Time.compare start until < 0 then begin
+      (* fold barrier: every inbox fold completes before any peer
+         executes (and so pushes window-k traffic), keeping the fold
+         set exactly "everything sent before this window" *)
+      fold_inbox d;
+      barrier_wait t.barrier;
+      let window_end = min (Time.add start width) until in
+      run_window t d ~window_end;
+      (* execution barrier: all window-k sends are in the inboxes
+         before anyone folds for window k+1 *)
+      barrier_wait t.barrier;
+      windows window_end
+    end
+  in
+  windows t.global_now;
+  Domain.DLS.set dls_ctx None
+
+let run t ~until =
+  if Time.compare until t.global_now < 0 then invalid_arg "Domains_rt.run: time cannot rewind";
+  freeze_handlers t;
+  let workers = Array.map (fun d -> Domain.spawn (fun () -> worker t d ~until)) t.doms in
+  Array.iter Domain.join workers;
+  t.global_now <- until;
+  flush_traces t
+
+let run_span t span = run t ~until:(Time.add t.global_now span)
+
+type stats = { sent : int; delivered : int; wire_dropped : int }
+
+let stats (t : t) =
+  { sent = Atomic.get t.sent; delivered = Atomic.get t.delivered; wire_dropped = Atomic.get t.wire_dropped }
+
+let in_flight t = Atomic.get t.in_flight
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Backend : Rt.S with type t = t = struct
+  type nonrec t = t
+
+  let now = now
+  let n_nodes = n_nodes
+  let nodes = nodes
+  let is_alive = is_alive
+  let subscribe = subscribe
+  let send = send
+  let multicast = multicast
+  let after_node = after_node
+  let after_node_ = after_node_
+  let at_node_ = at_node_
+  let on_recover = on_recover
+  let rng_node = rng_node
+  let trace = trace
+  let count = count
+  let observe = observe
+end
+
+let rt t = Rt.Rt ((module Backend), t)

@@ -1,0 +1,112 @@
+(** The runtime signature — what a protocol layer may ask of the world.
+
+    Every layer above the network (transport, detector, vsync, lwg,
+    naming) codes against {!type:t}, a packed first-class module, and
+    never against a concrete engine (the [runtime-boundary] lint
+    enforces this).  Two backends implement {!S}:
+
+    - {!Sim_rt}: the deterministic single-executor discrete-event
+      simulator — the reference semantics (the oracle);
+    - [Plwg_runtime_domains.Domains_rt]: an OCaml 5 multi-domain
+      backend sharding node actors across domains.
+
+    The surface is deliberately {e node-affine}: every timer and every
+    receive handler names the node it belongs to, so a parallel backend
+    can route all of a node's work to the domain that owns it and
+    node-local protocol state needs no locks.  There is no global
+    timer and no global randomness — per-node seeded streams
+    ({!rng_node}) keep runs reproducible on both backends. *)
+
+open Plwg_sim
+
+type cancel = unit -> unit
+(** Cancels a pending timer; idempotent. *)
+
+module type S = sig
+  type t
+
+  val now : t -> Time.t
+  (** Current virtual time at the calling executor. *)
+
+  val n_nodes : t -> int
+  val nodes : t -> Node_id.t list
+
+  val is_alive : t -> Node_id.t -> bool
+  (** Whether the node is currently up.  Backends without fault
+      injection answer [true] for every node. *)
+
+  val subscribe : t -> Node_id.t -> (src:Node_id.t -> Payload.t -> unit) -> unit
+  (** Register a receive handler for a node; handlers fire in
+      subscription order, on the node's executor.  Wiring-time only:
+      backends may freeze handler tables before execution starts. *)
+
+  val send : t -> src:Node_id.t -> dst:Node_id.t -> Payload.t -> unit
+  (** Transmit one message from [src]'s executor.  Delivery pays the
+      backend's link latency plus destination CPU queueing; the message
+      may be dropped (crash, partition, wire loss) without notice. *)
+
+  val multicast : t -> src:Node_id.t -> dsts:Node_id.t list -> Payload.t -> unit
+  (** Fan-out [send]; a destination equal to the source receives a
+      local loop-back copy. *)
+
+  val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
+  (** Node timer: fires on the node's executor, skipped if the node is
+      crashed when it fires. *)
+
+  val after_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+  (** [after_node] without the cancel capability (cheaper: nothing but
+      the action closure need be allocated). *)
+
+  val at_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+  (** Node-affine fire-and-forget timer {e without} a liveness guard:
+      fires on the node's executor even while the node is crashed.
+      Self-rescheduling protocol loops use this — guarding their own
+      tick with {!is_alive} — so the loop survives a crash/recover
+      cycle. *)
+
+  val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
+  (** Callback fired on the node's executor when it transitions from
+      crashed to alive; hooks run in registration order.  Never fired
+      by backends without fault injection. *)
+
+  val rng_node : t -> Node_id.t -> Plwg_util.Rng.t
+  (** The node's private seeded generator.  Streams are derived
+      identically on every backend ({!Plwg_util.Rng.stream}), so a
+      layer's draws depend only on the seed and its own call sequence.
+      Owned by the node: only code running on the node's executor may
+      draw from it. *)
+
+  val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
+  (** Emit a trace event stamped with the current virtual time.  The
+      thunk is only forced when a sink is attached. *)
+
+  val count : ?by:int -> t -> string -> unit
+  (** Bump a named metrics counter (no-op without observability). *)
+
+  val observe : t -> string -> float -> unit
+  (** Record a sample into a named metrics histogram (no-op without
+      observability). *)
+end
+
+type t = Rt : (module S with type t = 'a) * 'a -> t
+(** A backend packed with its handle.  Layers store this and go through
+    the flat accessors below; the unpack compiles to a record field
+    load, so dispatch adds no per-call allocation. *)
+
+(** {1 Flat dispatch} *)
+
+val now : t -> Time.t
+val n_nodes : t -> int
+val nodes : t -> Node_id.t list
+val is_alive : t -> Node_id.t -> bool
+val subscribe : t -> Node_id.t -> (src:Node_id.t -> Payload.t -> unit) -> unit
+val send : t -> src:Node_id.t -> dst:Node_id.t -> Payload.t -> unit
+val multicast : t -> src:Node_id.t -> dsts:Node_id.t list -> Payload.t -> unit
+val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
+val after_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+val at_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
+val rng_node : t -> Node_id.t -> Plwg_util.Rng.t
+val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
+val count : ?by:int -> t -> string -> unit
+val observe : t -> string -> float -> unit

@@ -1,0 +1,66 @@
+open Plwg_sim
+
+type t = Engine.t
+
+(* The backend module is the engine's runtime surface verbatim; packing
+   allocates once per stack, not per call. *)
+module Backend : Rt.S with type t = Engine.t = struct
+  type t = Engine.t
+
+  let now = Engine.now
+  let n_nodes = Engine.n_nodes
+  let nodes = Engine.nodes
+  let is_alive = Engine.is_alive
+  let subscribe = Engine.subscribe
+  let send = Engine.send
+  let multicast = Engine.multicast
+  let after_node = Engine.after_node
+  let after_node_ = Engine.after_node_
+  let at_node_ = Engine.at_node_
+  let on_recover = Engine.on_recover
+  let rng_node = Engine.rng_node
+  let trace = Engine.trace
+  let count = Engine.count
+  let observe = Engine.observe
+end
+
+let rt engine = Rt.Rt ((module Backend), engine)
+
+let create = Engine.create
+
+type cancel = Engine.cancel
+
+let now = Engine.now
+let n_nodes = Engine.n_nodes
+let nodes = Engine.nodes
+let is_alive = Engine.is_alive
+let rng_node = Engine.rng_node
+let subscribe = Engine.subscribe
+let send = Engine.send
+let multicast = Engine.multicast
+let after_node = Engine.after_node
+let after_node_ = Engine.after_node_
+let at_node_ = Engine.at_node_
+let on_recover = Engine.on_recover
+let trace = Engine.trace
+let count = Engine.count
+let observe = Engine.observe
+
+let topology = Engine.topology
+let model = Engine.model
+let after = Engine.after
+let after_ = Engine.after_
+let run = Engine.run
+let run_span = Engine.run_span
+let run_until_idle = Engine.run_until_idle
+
+type stats = Engine.stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
+
+let stats = Engine.stats
+let in_flight = Engine.in_flight
+
+let crash t node = Fault.apply t (Fault.Crash node)
+let recover t node = Fault.apply t (Fault.Recover node)
+let set_partition t classes = Fault.apply t (Fault.Partition classes)
+let heal t = Fault.apply t Fault.Heal
+let set_model t model = Fault.apply t (Fault.Set_model model)

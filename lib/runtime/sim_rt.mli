@@ -1,0 +1,74 @@
+(** The deterministic simulator as a runtime backend — and the driver
+    surface for sim-based experiments.
+
+    [t] {e is} the sim engine ([Plwg_sim.Engine.t]); {!rt} packs it as
+    a {!Rt.t} for the protocol stack.  Everything a driver (harness,
+    bench, CLI, tests) needs — creation, clock advancement, stats,
+    fault injection — is re-exported here, so no code outside [lib/sim]
+    and [lib/runtime] ever names [Engine] (the [runtime-boundary] lint
+    checks this).
+
+    Fault injection goes through the validated {!Plwg_sim.Fault} steps,
+    so a driver's ad-hoc [crash]/[set_partition] and a chaos campaign's
+    scripted schedule take the same (traced) path. *)
+
+open Plwg_sim
+
+type t = Engine.t
+
+val rt : t -> Rt.t
+(** Pack the engine as a runtime for the protocol stack. *)
+
+val create : ?obs:Plwg_obs.t -> ?model:Model.t -> seed:int -> n_nodes:int -> unit -> t
+
+(** {1 Runtime surface re-exports} *)
+
+type cancel = Engine.cancel
+
+val now : t -> Time.t
+val n_nodes : t -> int
+val nodes : t -> Node_id.t list
+val is_alive : t -> Node_id.t -> bool
+val rng_node : t -> Node_id.t -> Plwg_util.Rng.t
+val subscribe : t -> Node_id.t -> (src:Node_id.t -> Payload.t -> unit) -> unit
+val send : t -> src:Node_id.t -> dst:Node_id.t -> Payload.t -> unit
+val multicast : t -> src:Node_id.t -> dsts:Node_id.t list -> Payload.t -> unit
+val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
+val after_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+val at_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
+val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
+val count : ?by:int -> t -> string -> unit
+val observe : t -> string -> float -> unit
+
+(** {1 Sim driver controls} *)
+
+val topology : t -> Topology.t
+val model : t -> Model.t
+
+val after : t -> Time.span -> (unit -> unit) -> cancel
+(** Global timer (fault scripts, measurement probes); fires
+    unconditionally.  Sim-only: protocol layers must use the node-affine
+    timers of {!Rt.S}. *)
+
+val after_ : t -> Time.span -> (unit -> unit) -> unit
+
+val run : t -> until:Time.t -> unit
+val run_span : t -> Time.span -> unit
+val run_until_idle : ?limit:Time.t -> t -> unit
+
+type stats = Engine.stats = { sent : int; delivered : int; wire_dropped : int; unreachable_dropped : int }
+
+val stats : t -> stats
+val in_flight : t -> int
+
+(** {1 Fault injection}
+
+    Convenience wrappers over {!Plwg_sim.Fault.apply}; each validates
+    the step before applying it. *)
+
+val crash : t -> Node_id.t -> unit
+val recover : t -> Node_id.t -> unit
+val set_partition : t -> Node_id.t list list -> unit
+val heal : t -> unit
+val set_model : t -> Model.t -> unit

@@ -111,7 +111,17 @@ let topology t = t.topology
 let model t = t.model
 let now t = t.now
 let rng t = t.rng
+(* The sim scheduler is a single deterministic loop, so all per-node
+   draws can come from the engine's root stream: draw order is fixed by
+   the schedule, and protocol draws interleaving with link-jitter draws
+   is exactly the pre-runtime-layer behaviour (traces stay byte-stable
+   across the refactor).  Concurrent backends cannot share one stream —
+   the domains backend gives each node an independent [Rng.stream]. *)
+let rng_node t _node = t.rng
 let obs t = t.obs
+let n_nodes t = Topology.n_nodes t.topology
+let nodes t = Topology.all_nodes t.topology
+let is_alive t node = Topology.is_alive t.topology node
 
 (* Instrumentation entry points.  The event is built inside a thunk so
    that when no sink is attached nothing is allocated or rendered; hot
@@ -289,6 +299,14 @@ let after_node_ t node span action =
   ev.e_src <- node;
   ev.e_action <- action;
   Plwg_util.Wheel.schedule t.queue ~tick:(Time.add t.now span) ev
+
+(* Node-affine fire-and-forget timer without a liveness guard: the
+   action runs on the node's executor even while the node is crashed
+   (self-rescheduling protocol loops guard their own tick with
+   [is_alive] so they survive a crash/recover cycle).  In the
+   single-executor sim this is exactly [after_]; a parallel backend
+   uses the node to route the timer to the owning domain. *)
+let at_node_ t _node span action = after_ t span action
 
 (* Crash/recover act only on an actual state transition: crashing a
    crashed node or recovering a live one is a silent no-op, so random

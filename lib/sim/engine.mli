@@ -1,15 +1,22 @@
-(** Deterministic discrete-event simulation engine.
+(** Deterministic discrete-event simulation engine — the reference
+    implementation of the runtime signature ({!Plwg_runtime.Rt.S}).
 
     The engine owns simulated time, the event queue, the network
-    topology and the cost model.  Protocol layers interact with it
-    through three primitives: [subscribe] (receive messages addressed to
-    a node), [send]/[multicast] (transmit a payload) and
-    [after_node]/[after] (timers).
+    topology and the cost model.  Protocol layers never see this module
+    directly (the [runtime-boundary] lint enforces it): they code
+    against [Plwg_runtime.Rt] and reach a sim through
+    [Plwg_runtime.Sim_rt.rt].
+
+    This interface is the {e sim-private} one: it exports the raw fault
+    transitions ([crash] … [set_model]) that only {!Fault} may call.
+    The library's public face ([plwg_sim.mli]) re-exports Engine
+    without them, so every external fault injection goes through the
+    validated, declarative {!Fault} API.
 
     Determinism: events are ordered by [(time, insertion sequence)], all
-    randomness comes from the engine's seeded {!Plwg_util.Rng}, and
-    handlers fire in subscription order — so a run is a pure function of
-    the seed and the fault script. *)
+    randomness comes from the engine's seeded {!Plwg_util.Rng} streams,
+    and handlers fire in subscription order — so a run is a pure
+    function of the seed and the fault script. *)
 
 type t
 
@@ -21,27 +28,21 @@ val create : ?obs:Plwg_obs.t -> ?model:Model.t -> seed:int -> n_nodes:int -> uni
     registry).  Without it, every instrumentation site in the stack is a
     single branch on [None]. *)
 
-val topology : t -> Topology.t
-val model : t -> Model.t
+(** {1 Runtime surface}
+
+    Mirrors [Plwg_runtime.Rt.S] — the portion of the engine protocol
+    layers are allowed to use, via the runtime abstraction. *)
+
 val now : t -> Time.t
 
-val obs : t -> Plwg_obs.t option
+val n_nodes : t -> int
+val nodes : t -> Node_id.t list
+val is_alive : t -> Node_id.t -> bool
 
-val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
-(** Emit a trace event stamped with the current simulated time.  The
-    thunk is only forced when a sink is attached, so callers may build
-    the event (and render payloads) inside it at zero cost otherwise. *)
-
-val count : ?by:int -> t -> string -> unit
-(** Bump a named metrics counter (no-op without [?obs]). *)
-
-val observe : t -> string -> float -> unit
-(** Record a sample into a named metrics histogram (no-op without
-    [?obs]). *)
-
-val rng : t -> Plwg_util.Rng.t
-(** The engine's root generator.  Layers should [Rng.split] it once at
-    setup rather than drawing from it during the run. *)
+val rng_node : t -> Node_id.t -> Plwg_util.Rng.t
+(** The node's private generator: an independent {!Plwg_util.Rng.stream}
+    of the engine seed, identical across runtime backends.  Layers on
+    the same node share it (or [Rng.split] it once at setup). *)
 
 val subscribe : t -> Node_id.t -> (src:Node_id.t -> Payload.t -> unit) -> unit
 (** Register a receive handler for a node.  Multiple layers may
@@ -58,19 +59,18 @@ val multicast : t -> src:Node_id.t -> dsts:Node_id.t list -> Payload.t -> unit
 (** Fan-out [send] to every destination; a destination equal to the
     source receives a local loop-back copy (no wire, still pays CPU). *)
 
-val after : t -> Time.span -> (unit -> unit) -> cancel
-(** Global timer (fault scripts, measurements); fires unconditionally. *)
-
 val after_node : t -> Node_id.t -> Time.span -> (unit -> unit) -> cancel
 (** Node timer: skipped if the node is crashed when it fires. *)
 
-val after_ : t -> Time.span -> (unit -> unit) -> unit
-(** [after] without the cancel capability: nothing but the action
-    closure is allocated.  Use for timers that are never cancelled
-    (tick loops, workload drivers). *)
-
 val after_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
-(** [after_node] without the cancel capability; same liveness guard. *)
+(** [after_node] without the cancel capability: nothing but the action
+    closure is allocated. *)
+
+val at_node_ : t -> Node_id.t -> Time.span -> (unit -> unit) -> unit
+(** Node-affine fire-and-forget timer {e without} a liveness guard: the
+    action runs on the node's executor even while the node is crashed.
+    Self-rescheduling protocol loops use this (guarding their own tick
+    with [is_alive]) so the loop survives a crash/recover cycle. *)
 
 val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
 (** Register a callback fired when the node transitions from crashed to
@@ -79,9 +79,42 @@ val on_recover : t -> Node_id.t -> (unit -> unit) -> unit
     retransmission timers use this to re-arm after recovery.  Hooks run
     in registration order. *)
 
-(* Fault injection.  [crash] and [recover] act only on an actual state
-   transition — crashing a crashed node or recovering a live one is a
-   silent no-op — so fault schedules need not track liveness. *)
+val trace : t -> (unit -> Plwg_obs.Event.t) -> unit
+(** Emit a trace event stamped with the current simulated time.  The
+    thunk is only forced when a sink is attached, so callers may build
+    the event (and render payloads) inside it at zero cost otherwise. *)
+
+val count : ?by:int -> t -> string -> unit
+(** Bump a named metrics counter (no-op without [?obs]). *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample into a named metrics histogram (no-op without
+    [?obs]). *)
+
+(** {1 Sim-only controls} *)
+
+val topology : t -> Topology.t
+val model : t -> Model.t
+
+val obs : t -> Plwg_obs.t option
+
+val rng : t -> Plwg_util.Rng.t
+(** The engine's root generator — wire-level randomness (link jitter,
+    wire drops).  Protocol layers must use {!rng_node} instead. *)
+
+val after : t -> Time.span -> (unit -> unit) -> cancel
+(** Global timer (fault scripts, measurements); fires unconditionally. *)
+
+val after_ : t -> Time.span -> (unit -> unit) -> unit
+(** [after] without the cancel capability. *)
+
+(** {2 Fault transitions — sim-private}
+
+    Raw state transitions, exported here for {!Fault} only; the public
+    face of the library hides them.  [crash] and [recover] act only on
+    an actual state transition — crashing a crashed node or recovering
+    a live one is a silent no-op — so fault schedules need not track
+    liveness. *)
 
 val crash : t -> Node_id.t -> unit
 val recover : t -> Node_id.t -> unit
@@ -92,7 +125,7 @@ val set_model : t -> Model.t -> unit
 (** Swap the network cost model mid-run (loss bursts, latency spikes).
     Messages already in flight keep the latency drawn at send time. *)
 
-(* Execution *)
+(** {2 Execution} *)
 
 val run : t -> until:Time.t -> unit
 (** Execute all events with time <= [until]; afterwards [now] = [until]. *)

@@ -1,0 +1,14 @@
+(* Public face of the simulation library.  The interface narrows
+   [Engine] to the runtime surface plus sim driver controls: the raw
+   fault transitions (crash / set_partition / ...) and the root jitter
+   generator stay private to the library, so external fault injection
+   goes through the validated [Fault] API and external randomness
+   through per-node [rng_node] streams. *)
+
+module Time = Time
+module Node_id = Node_id
+module Payload = Payload
+module Model = Model
+module Topology = Topology
+module Engine = Engine
+module Fault = Fault

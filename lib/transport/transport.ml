@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 module Deque = Plwg_util.Deque
 module Seqbuf = Plwg_util.Seqbuf
 
@@ -61,7 +62,7 @@ type out_conn = {
   mutable acked_progress : int; (* value of peer's last cumulative ack *)
   mutable retries : int;
   mutable cur_rto : Time.span;
-  mutable timer : Engine.cancel option;
+  mutable timer : Rt.cancel option;
 }
 
 (* Receiver side of one (src, dst) connection. *)
@@ -74,7 +75,7 @@ type in_conn = {
 
 type endpoint = {
   node : Node_id.t;
-  engine : Engine.t;
+  rt : Rt.t;
   config : config;
   mutable conn_counter : int;
   (* Per-peer connection state, indexed by node id.  Node ids are dense
@@ -114,16 +115,16 @@ let release_slot ep s =
   ep.slot_free <- s
 [@@zero_alloc_hot]
 
-type t = { fabric_engine : Engine.t; fabric_config : config; endpoints : endpoint option array }
+type t = { fabric_rt : Rt.t; fabric_config : config; endpoints : endpoint option array }
 
-let create ?(config = default_config) engine =
+let create ?(config = default_config) rt =
   {
-    fabric_engine = engine;
+    fabric_rt = rt;
     fabric_config = config;
-    endpoints = Array.make (Topology.n_nodes (Engine.topology engine)) None;
+    endpoints = Array.make (Rt.n_nodes rt) None;
   }
 
-let engine t = t.fabric_engine
+let runtime t = t.fabric_rt
 
 (* Handlers are stored newest-first; the reversed (registration-order)
    list is frozen into an array on the first delivery after a
@@ -156,9 +157,9 @@ let send_ack ep ~dst ic =
     ic.ack_pending <- true;
     let fire () =
       ic.ack_pending <- false;
-      Engine.send ep.engine ~src:ep.node ~dst (Ack { conn = ic.in_id; next = ic.next_expected })
+      Rt.send ep.rt ~src:ep.node ~dst (Ack { conn = ic.in_id; next = ic.next_expected })
     in
-    Engine.after_node_ ep.engine ep.node ack_delay fire
+    Rt.after_node_ ep.rt ep.node ack_delay fire
   end
 
 let rec drain_in_order ep ~src ic =
@@ -196,11 +197,11 @@ let on_seg ep ~src ~conn ~seq body =
 (* conn < ic.in_id: stale fragment of an abandoned connection; drop. *)
 
 let reset_out ep ~dst oc =
-  Engine.count ep.engine "transport.conn_resets";
+  Rt.count ep.rt "transport.conn_resets";
   Deque.iter
     (fun s ->
       slot_check s;
-      Engine.trace ep.engine (fun () ->
+      Rt.trace ep.rt (fun () ->
           Plwg_obs.Event.Msg_dropped
             { src = ep.node; dst; kind = Payload.to_string s.s_body; reason = "conn-reset" }))
     oc.unacked;
@@ -229,15 +230,15 @@ let rec arm_timer ep ~dst oc =
         for i = 0 to batch - 1 do
           let s = Deque.get oc.unacked i in
           slot_check s;
-          Engine.count ep.engine "transport.retransmits";
-          Engine.send ep.engine ~src:ep.node ~dst (Seg { conn = oc.out_id; seq = s.s_seq; body = s.s_body })
+          Rt.count ep.rt "transport.retransmits";
+          Rt.send ep.rt ~src:ep.node ~dst (Seg { conn = oc.out_id; seq = s.s_seq; body = s.s_body })
         done;
         oc.cur_rto <- min (oc.cur_rto * 2) ep.config.max_rto;
         arm_timer ep ~dst oc
       end
     end
   in
-  oc.timer <- Some (Engine.after_node ep.engine ep.node oc.cur_rto fire)
+  oc.timer <- Some (Rt.after_node ep.rt ep.node oc.cur_rto fire)
 
 let get_out ep dst =
   match ep.outs.(dst) with
@@ -295,11 +296,11 @@ let endpoint t node =
   match t.endpoints.(node) with
   | Some ep -> ep
   | None ->
-      let n_nodes = Topology.n_nodes (Engine.topology t.fabric_engine) in
+      let n_nodes = Rt.n_nodes t.fabric_rt in
       let ep =
         {
           node;
-          engine = t.fabric_engine;
+          rt = t.fabric_rt;
           config = t.fabric_config;
           conn_counter = 0;
           outs = Array.make n_nodes None;
@@ -313,13 +314,13 @@ let endpoint t node =
         }
       in
       t.endpoints.(node) <- Some ep;
-      Engine.subscribe t.fabric_engine node (fun ~src payload -> handle ep ~src payload);
+      Rt.subscribe t.fabric_rt node (fun ~src payload -> handle ep ~src payload);
       (* Timers pending when this node crashed were silently skipped,
          leaving stale [Some] timer handles: retransmission would never
          re-arm (send only arms when [timer = None]) and a pending ack
          would never fire while [ack_pending] stays set.  Reset both on
          recovery so backlogs drain again. *)
-      Engine.on_recover t.fabric_engine node (fun () ->
+      Rt.on_recover t.fabric_rt node (fun () ->
           (* array index order = node-id order, so iteration is
              deterministic without the sorted-table walk *)
           Array.iteri
@@ -344,8 +345,8 @@ let endpoint t node =
 
 let send ep ~dst body =
   if Node_id.equal dst ep.node then
-    (* local loop-back: the engine's self-delivery is already reliable FIFO *)
-    Engine.send ep.engine ~src:ep.node ~dst body
+    (* local loop-back: the runtime's self-delivery is already reliable FIFO *)
+    Rt.send ep.rt ~src:ep.node ~dst body
   else begin
     let oc = get_out ep dst in
     let seq = oc.next_seq in
@@ -353,21 +354,21 @@ let send ep ~dst body =
     Deque.push_back oc.unacked (alloc_slot ep ~seq ~body);
     ep.in_flight <- ep.in_flight + 1;
     if ep.in_flight > ep.in_flight_peak then ep.in_flight_peak <- ep.in_flight;
-    Engine.send ep.engine ~src:ep.node ~dst
+    Rt.send ep.rt ~src:ep.node ~dst
       ((Seg { conn = oc.out_id; seq; body }) [@alloc_ok "the wire segment itself: the one block a send must build"]);
     if oc.timer = None then arm_timer ep ~dst oc
   end
 [@@zero_alloc_hot]
 
-let send_raw ep ~dst payload = Engine.send ep.engine ~src:ep.node ~dst payload
+let send_raw ep ~dst payload = Rt.send ep.rt ~src:ep.node ~dst payload
 
 let on_receive ep handler =
   ep.handlers <- handler :: ep.handlers;
   ep.handlers_dirty <- true
 
 let broadcast_raw t ~src payload =
-  let nodes = Topology.all_nodes (Engine.topology t.fabric_engine) in
-  Engine.multicast t.fabric_engine ~src ~dsts:nodes payload
+  let nodes = Rt.nodes t.fabric_rt in
+  Rt.multicast t.fabric_rt ~src ~dsts:nodes payload
 
 let in_flight ep = ep.in_flight
 

@@ -13,7 +13,7 @@
     connection-reset (= message-cut) case with its flush protocol. *)
 
 type t
-(** One transport fabric per engine; hands out per-node endpoints. *)
+(** One transport fabric per runtime; hands out per-node endpoints. *)
 
 type endpoint
 
@@ -25,9 +25,9 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Plwg_sim.Engine.t -> t
+val create : ?config:config -> Plwg_runtime.Rt.t -> t
 
-val engine : t -> Plwg_sim.Engine.t
+val runtime : t -> Plwg_runtime.Rt.t
 
 val endpoint : t -> Plwg_sim.Node_id.t -> endpoint
 (** The endpoint for a node; created on first use, shared afterwards. *)

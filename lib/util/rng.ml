@@ -15,6 +15,14 @@ let int64 = next_raw
 
 let split t = { state = next_raw t }
 
+let stream ~seed index =
+  (* One scramble round so stream [index] is decorrelated both from
+     [create ~seed] (whose state starts at [seed] exactly) and from
+     neighbouring indices. *)
+  let t = { state = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (index + 1)) golden_gamma) } in
+  t.state <- next_raw t;
+  t
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -13,6 +13,13 @@ val create : seed:int -> t
 val split : t -> t
 (** Derive an independent generator; the parent advances. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed index] is the [index]-th generator of an indexed
+    family, derived without consuming draws from any other generator —
+    so every runtime backend seeds per-node streams identically, and
+    adding a node never perturbs existing streams.  Independent of
+    [create ~seed] for the same seed. *)
+
 val copy : t -> t
 (** Clone the current state (the clone replays the same stream). *)
 

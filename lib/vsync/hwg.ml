@@ -1,4 +1,5 @@
 open Plwg_sim
+module Rt = Plwg_runtime.Rt
 open Types
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
@@ -109,7 +110,7 @@ type change = {
   ch_proposal : Node_id.Set.t;
   ch_started : Time.t;
   mutable ch_flushed : flush_info Node_id.Map.t;
-  mutable ch_deadline : Engine.cancel;
+  mutable ch_deadline : Rt.cancel;
 }
 
 type status =
@@ -159,7 +160,7 @@ type gstate = {
 
 type t = {
   node : Node_id.t;
-  engine : Engine.t;
+  rt : Rt.t;
   endpoint : Transport.endpoint;
   detector : Detector.t;
   config : config;
@@ -173,7 +174,7 @@ type t = {
 
 let node t = t.node
 
-let record t event = match t.recorder with Some r -> r (Engine.now t.engine) event | None -> ()
+let record t event = match t.recorder with Some r -> r (Rt.now t.rt) event | None -> ()
 
 let lookup t group = Plwg_util.Itbl.find_opt t.states (Gid.code group)
 
@@ -205,12 +206,12 @@ let fresh_gid t =
 let foreign_ttl = Time.ms 1200
 
 let fresh_foreign t g =
-  let now = Engine.now t.engine in
+  let now = Rt.now t.rt in
   g.foreign <- List.filter (fun (seen, _) -> Time.diff now seen <= foreign_ttl) g.foreign;
   List.fold_left (fun acc (_, n) -> Node_id.Set.add n acc) Node_id.Set.empty g.foreign
 
 let add_foreign t g nodes =
-  let now = Engine.now t.engine in
+  let now = Rt.now t.rt in
   let known = List.map snd g.foreign in
   let extra = List.filter (fun n -> (not (Node_id.equal n t.node)) && not (List.mem n known)) nodes in
   (* refresh timestamps of re-announced nodes *)
@@ -381,8 +382,8 @@ let reset_for_view t g view =
   g.last_proposal <- Node_id.Set.empty;
   g.view_seq <- max g.view_seq view.View.id.View_id.seq;
   record t (Installed { node = t.node; view });
-  Engine.count t.engine "hwg.views_installed";
-  Engine.trace t.engine (fun () ->
+  Rt.count t.rt "hwg.views_installed";
+  Rt.trace t.rt (fun () ->
       Plwg_obs.Event.View_installed
         {
           node = t.node;
@@ -421,7 +422,7 @@ let after_install_resume t g =
 let cancel_change t g change ~outcome =
   change.ch_deadline ();
   g.change <- None;
-  Engine.trace t.engine (fun () ->
+  Rt.trace t.rt (fun () ->
       Plwg_obs.Event.Flush_end { node = t.node; group = Gid.to_string g.group; epoch = change.ch_epoch; outcome })
 
 let remove_group t g =
@@ -516,8 +517,8 @@ let rec evaluate t g =
                (after some patience, in case our install is in flight) *)
             match g.status with
             | Stopped { st_since; _ }
-              when Time.diff (Engine.now t.engine) st_since > 2 * t.config.flush_deadline ->
-                g.status <- Joining { started = Engine.now t.engine }
+              when Time.diff (Rt.now t.rt) st_since > 2 * t.config.flush_deadline ->
+                g.status <- Joining { started = Rt.now t.rt }
             | Stopped _ | Joining _ | Normal -> ()
         end
         else begin
@@ -553,18 +554,18 @@ and initiate t g desired =
   g.epoch <- g.epoch + 1;
   Logs.debug (fun m -> m "n%d initiate %s e%d proposal=%s" t.node (Gid.to_string g.group) g.epoch (String.concat "," (List.map string_of_int (Node_id.Set.elements desired))));
   let epoch = g.epoch in
-  let deadline = Engine.after_node t.engine t.node t.config.flush_deadline (fun () -> on_deadline t g epoch) in
+  let deadline = Rt.after_node t.rt t.node t.config.flush_deadline (fun () -> on_deadline t g epoch) in
   g.change <-
     Some
       {
         ch_epoch = epoch;
         ch_proposal = desired;
-        ch_started = Engine.now t.engine;
+        ch_started = Rt.now t.rt;
         ch_flushed = Node_id.Map.empty;
         ch_deadline = deadline;
       };
-  Engine.count t.engine "hwg.flushes_started";
-  Engine.trace t.engine (fun () ->
+  Rt.count t.rt "hwg.flushes_started";
+  Rt.trace t.rt (fun () ->
       Plwg_obs.Event.Flush_begin { node = t.node; group = Gid.to_string g.group; epoch });
   let proposal = Node_id.Set.elements desired in
   List.iter
@@ -615,7 +616,7 @@ and handle_stop t ~src:_ ~group ~epoch ~coord ~proposal =
           | Some change when not (Node_id.equal coord t.node) -> cancel_change t g change ~outcome:"superseded"
           | Some _ | None -> ());
           let was_stopped = match g.status with Stopped _ -> true | Joining _ | Normal -> false in
-          g.status <- Stopped { st_epoch = epoch; st_coord = coord; acked = false; st_since = Engine.now t.engine };
+          g.status <- Stopped { st_epoch = epoch; st_coord = coord; acked = false; st_since = Rt.now t.rt };
           if not was_stopped then t.callbacks.on_stop group;
           if t.config.auto_stop_ok || was_stopped then flush_reply t g
         end
@@ -667,7 +668,7 @@ and handle_flushed t ~group ~epoch ~from ~info =
 and finalize t g change =
   Logs.debug (fun m -> m "n%d finalize %s e%d" t.node (Gid.to_string g.group) change.ch_epoch);
   cancel_change t g change ~outcome:"installed";
-  Engine.observe t.engine "hwg.flush_us" (float_of_int (Time.diff (Engine.now t.engine) change.ch_started));
+  Rt.observe t.rt "hwg.flush_us" (float_of_int (Time.diff (Rt.now t.rt) change.ch_started));
   let infos = change.ch_flushed in
   let stayers =
     Node_id.Set.filter
@@ -844,7 +845,7 @@ and handle_view_announce t ~group ~view_id ~members =
       | Joining since ->
           (* the group exists elsewhere: keep announcing, do not form a
              singleton view *)
-          since.started <- Engine.now t.engine;
+          since.started <- Rt.now t.rt;
           add_foreign t g members
       | Normal | Stopped _ -> (
           match g.view with
@@ -978,14 +979,14 @@ let announce t g =
 let tick t g =
   match g.status with
   | Joining since ->
-      if Time.diff (Engine.now t.engine) since.started > t.config.join_timeout then install_singleton t g
+      if Time.diff (Rt.now t.rt) since.started > t.config.join_timeout then install_singleton t g
       else broadcast t (Hw_join_announce { group = g.group; joiner = t.node })
   | Normal | Stopped _ -> evaluate t g
 
 let start_group_timers t g =
   let key = Gid.code g.group in
   let alive () = Plwg_util.Itbl.mem t.states key in
-  (* The loops reschedule with [Engine.after_] and guard the body on
+  (* The loops reschedule with [Rt.at_node_] and guard the body on
      node liveness rather than using [after_node_]: an [after_node_]
      timer that fires while the node is crashed is skipped outright,
      which would kill the loop permanently and leave the node a silent
@@ -993,30 +994,30 @@ let start_group_timers t g =
      the first tick after the node comes back resumes the protocol.
      The loops are never cancelled (they stop by [alive] turning
      false), so the no-handle variant applies. *)
-  let up () = Topology.is_alive (Engine.topology t.engine) t.node in
+  let up () = Rt.is_alive t.rt t.node in
   let rec tick_loop () =
     if alive () then begin
       if up () then tick t g;
-      Engine.after_ t.engine t.config.tick_period tick_loop
+      Rt.at_node_ t.rt t.node t.config.tick_period tick_loop
     end
   in
   let rec announce_loop () =
     if alive () then begin
       if up () then announce t g;
-      Engine.after_ t.engine t.config.announce_period announce_loop
+      Rt.at_node_ t.rt t.node t.config.announce_period announce_loop
     end
   in
   let rec stability_loop () =
     if alive () then begin
       if up () then broadcast_stability t g;
-      Engine.after_ t.engine t.config.stability_period stability_loop
+      Rt.at_node_ t.rt t.node t.config.stability_period stability_loop
     end
   in
   (* stagger the first firing so nodes do not tick in lock-step *)
-  let jitter = Time.us (Plwg_util.Rng.int (Engine.rng t.engine) (t.config.tick_period / 2)) in
-  Engine.after_ t.engine jitter tick_loop;
-  Engine.after_ t.engine (jitter + (t.config.announce_period / 3)) announce_loop;
-  if t.config.stability_period > 0 then Engine.after_ t.engine (jitter + (t.config.stability_period / 2)) stability_loop
+  let jitter = Time.us (Plwg_util.Rng.int (Rt.rng_node t.rt t.node) (t.config.tick_period / 2)) in
+  Rt.at_node_ t.rt t.node jitter tick_loop;
+  Rt.at_node_ t.rt t.node (jitter + (t.config.announce_period / 3)) announce_loop;
+  if t.config.stability_period > 0 then Rt.at_node_ t.rt t.node (jitter + (t.config.stability_period / 2)) stability_loop
 
 (* ------------------------------------------------------------------ *)
 (* Public API                                                          *)
@@ -1026,12 +1027,12 @@ let join ?(ordering = Fifo) t group =
   match lookup t group with
   | Some _ -> () (* already joining or joined *)
   | None ->
-      let n = Topology.n_nodes (Engine.topology t.engine) in
+      let n = Rt.n_nodes t.rt in
       let g =
         {
           group;
           ordering;
-          status = Joining { started = Engine.now t.engine };
+          status = Joining { started = Rt.now t.rt };
           view = None;
           epoch = 0;
           view_seq = seq_floor_of t group;
@@ -1115,12 +1116,12 @@ let am_coordinator t group =
 (* A finalized view change clears want_flush: hook into install. *)
 
 let create ?(config = default_config) ?recorder ~transport ~detector callbacks node =
-  let engine = Transport.engine transport in
+  let rt = Transport.runtime transport in
   let endpoint = Transport.endpoint transport node in
   let t =
     {
       node;
-      engine;
+      rt;
       endpoint;
       detector;
       config;
@@ -1166,7 +1167,7 @@ let create ?(config = default_config) ?recorder ~transport ~detector callbacks n
      in-flight change may have lost its deadline timer.  On recovery,
      close it (pairing its Flush_begin) and re-evaluate every group so
      membership restarts from current reachability. *)
-  Engine.on_recover engine node (fun () ->
+  Rt.on_recover rt node (fun () ->
       Plwg_util.Itbl.iter_sorted
         (fun _ g -> match g.change with Some change -> cancel_change t g change ~outcome:"recovered" | None -> ())
         t.states;

@@ -13,6 +13,7 @@ let () =
       ("lwg", Test_lwg.suite);
       ("reconcile", Test_reconcile.suite);
       ("harness", Test_harness.suite);
+      ("runtime", Test_runtime.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]

@@ -2,12 +2,13 @@
    crash and partition, peer re-discovery on heal. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 module Transport = Plwg_transport.Transport
 module Detector = Plwg_detector.Detector
 
 let setup ?(n = 4) ?(seed = 5) () =
-  let engine = Engine.create ~model:Model.lossless ~seed ~n_nodes:n () in
-  let transport = Transport.create engine in
+  let engine = Sim_rt.create ~model:Model.lossless ~seed ~n_nodes:n () in
+  let transport = Transport.create (Sim_rt.rt engine) in
   let detectors = List.init n (fun node -> Detector.create transport node) in
   (engine, Array.of_list detectors)
 
@@ -15,7 +16,7 @@ let warmup = Time.ms 500
 
 let test_initial_discovery () =
   let engine, detectors = setup () in
-  Engine.run engine ~until:warmup;
+  Sim_rt.run engine ~until:warmup;
   Array.iteri
     (fun i detector ->
       Alcotest.(check int)
@@ -30,18 +31,18 @@ let test_self_always_reachable () =
 
 let test_crash_detected () =
   let engine, detectors = setup () in
-  Engine.run engine ~until:warmup;
-  Engine.crash engine 3;
-  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Sim_rt.run engine ~until:warmup;
+  Sim_rt.crash engine 3;
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 1));
   Alcotest.(check bool) "3 suspected at 0" true (Detector.status detectors.(0) 3 = Detector.Unreachable);
   Alcotest.(check bool) "3 suspected at 1" true (Detector.status detectors.(1) 3 = Detector.Unreachable);
   Alcotest.(check bool) "others still fine" true (Detector.status detectors.(0) 1 = Detector.Reachable)
 
 let test_partition_detected_both_sides () =
   let engine, detectors = setup () in
-  Engine.run engine ~until:warmup;
-  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
-  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Sim_rt.run engine ~until:warmup;
+  Sim_rt.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 1));
   Alcotest.(check bool) "0 cannot see 2" true (Detector.status detectors.(0) 2 = Detector.Unreachable);
   Alcotest.(check bool) "2 cannot see 0" true (Detector.status detectors.(2) 0 = Detector.Unreachable);
   Alcotest.(check bool) "0 still sees 1" true (Detector.status detectors.(0) 1 = Detector.Reachable);
@@ -49,11 +50,11 @@ let test_partition_detected_both_sides () =
 
 let test_heal_rediscovery () =
   let engine, detectors = setup () in
-  Engine.run engine ~until:warmup;
-  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
-  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
-  Engine.heal engine;
-  Engine.run engine ~until:(Time.add warmup (Time.sec 2));
+  Sim_rt.run engine ~until:warmup;
+  Sim_rt.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 1));
+  Sim_rt.heal engine;
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 2));
   Alcotest.(check bool) "0 rediscovers 2" true (Detector.status detectors.(0) 2 = Detector.Reachable);
   Alcotest.(check bool) "3 rediscovers 1" true (Detector.status detectors.(3) 1 = Detector.Reachable)
 
@@ -61,9 +62,9 @@ let test_change_events () =
   let engine, detectors = setup () in
   let events = ref [] in
   Detector.on_change detectors.(0) (fun peer status -> events := (peer, status) :: !events);
-  Engine.run engine ~until:warmup;
-  Engine.crash engine 2;
-  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Sim_rt.run engine ~until:warmup;
+  Sim_rt.crash engine 2;
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 1));
   let ups = List.filter (fun (_, s) -> s = Detector.Reachable) !events in
   let downs = List.filter (fun (_, s) -> s = Detector.Unreachable) !events in
   Alcotest.(check int) "three discoveries" 3 (List.length ups);
@@ -73,17 +74,17 @@ let test_no_flapping_when_stable () =
   let engine, detectors = setup () in
   let transitions = ref 0 in
   Detector.on_change detectors.(1) (fun _ _ -> incr transitions);
-  Engine.run engine ~until:(Time.sec 5);
+  Sim_rt.run engine ~until:(Time.sec 5);
   Alcotest.(check int) "exactly the 3 initial discoveries" 3 !transitions
 
 let test_recover_rediscovered () =
   let engine, detectors = setup () in
-  Engine.run engine ~until:warmup;
-  Engine.crash engine 1;
-  Engine.run engine ~until:(Time.add warmup (Time.sec 1));
+  Sim_rt.run engine ~until:warmup;
+  Sim_rt.crash engine 1;
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 1));
   Alcotest.(check bool) "down" true (Detector.status detectors.(0) 1 = Detector.Unreachable);
-  Engine.recover engine 1;
-  Engine.run engine ~until:(Time.add warmup (Time.sec 2));
+  Sim_rt.recover engine 1;
+  Sim_rt.run engine ~until:(Time.add warmup (Time.sec 2));
   Alcotest.(check bool) "up again" true (Detector.status detectors.(0) 1 = Detector.Reachable)
 
 let suite =

@@ -106,7 +106,7 @@ let gid_string_qualified_fires =
   check_fires "gid-string-boundary" "let f gid = Plwg_vsync.Types.Gid.to_string gid"
 
 let gid_string_in_trace_quiet =
-  check_quiet "let f t gid = Engine.trace t.engine (fun () -> Event.Installed { group = Gid.to_string gid })"
+  check_quiet "let f t gid = Rt.trace t.rt (fun () -> Event.Installed { group = Gid.to_string gid })"
 
 let gid_string_in_logs_quiet =
   check_quiet {|let f gid = Logs.debug (fun m -> m "group %s" (Gid.to_string gid))|}
@@ -121,6 +121,29 @@ let gid_string_outside_lib_quiet () =
       "let f gid = String.length (Gid.to_string gid)"
   in
   Alcotest.(check (list string)) "test code exempt" [] (rules_of findings)
+
+(* ---------------- runtime boundary ---------------- *)
+
+let runtime_boundary_value_fires =
+  check_fires "runtime-boundary" "let f t p = Engine.send t ~src:0 ~dst:1 p"
+
+let runtime_boundary_type_fires = check_fires "runtime-boundary" "let f (t : Engine.t) = ignore t"
+
+let runtime_boundary_sim_quiet () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:false ~has_mli:true ~path:"lib/sim/fault.ml"
+      "let f t p = Engine.send t ~src:0 ~dst:1 p"
+  in
+  Alcotest.(check (list string)) "lib/sim exempt" [] (rules_of findings)
+
+let runtime_boundary_runtime_quiet () =
+  let findings =
+    Lint_engine.lint_source ~require_mli:false ~has_mli:true ~path:"lib/runtime/sim_rt.ml"
+      "let f (t : Engine.t) = Engine.now t"
+  in
+  Alcotest.(check (list string)) "lib/runtime exempt" [] (rules_of findings)
+
+let runtime_boundary_rt_quiet = check_quiet "let f rt p = Rt.send rt ~src:0 ~dst:1 p"
 
 (* ---------------- suppressions ---------------- *)
 
@@ -412,6 +435,11 @@ let suite =
     Alcotest.test_case "to_string in Logs is quiet" `Quick gid_string_in_logs_quiet;
     Alcotest.test_case "to_string in payload printer is quiet" `Quick gid_string_in_printer_quiet;
     Alcotest.test_case "to_string outside lib is quiet" `Quick gid_string_outside_lib_quiet;
+    Alcotest.test_case "Engine value use outside runtime fires" `Quick runtime_boundary_value_fires;
+    Alcotest.test_case "Engine.t annotation outside runtime fires" `Quick runtime_boundary_type_fires;
+    Alcotest.test_case "Engine use under lib/sim is quiet" `Quick runtime_boundary_sim_quiet;
+    Alcotest.test_case "Engine use under lib/runtime is quiet" `Quick runtime_boundary_runtime_quiet;
+    Alcotest.test_case "Rt surface is quiet" `Quick runtime_boundary_rt_quiet;
     Alcotest.test_case "suppression honored" `Quick suppression_honored;
     Alcotest.test_case "suppression is rule-specific" `Quick suppression_wrong_rule;
     Alcotest.test_case "allow all" `Quick suppression_all;

@@ -3,6 +3,7 @@
    virtual-synchrony invariants. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Stack = Plwg_harness.Stack
@@ -116,7 +117,7 @@ let test_crash_shrinks_lwg () =
   let group = lwg 0 in
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
-  Engine.crash stack.Stack.engine 3;
+  Sim_rt.crash stack.Stack.engine 3;
   Stack.run stack (Time.sec 6);
   Alcotest.(check (list int)) "survivors" [ 0; 1; 2 ] (view_at stack 0 group).View.members;
   Alcotest.(check bool) "converged" true (Stack.lwg_converged stack group);
@@ -286,7 +287,7 @@ let test_partition_concurrent_lwg_views () =
   Stack.run stack (Time.sec 10);
   (* keep one name server on each side *)
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
   Stack.run stack (Time.sec 8);
   Alcotest.(check (list int)) "side A" [ 0; 1 ] (view_at stack 0 group).View.members;
   Alcotest.(check (list int)) "side B" [ 2; 3 ] (view_at stack 2 group).View.members;
@@ -302,10 +303,10 @@ let test_heal_merges_lwg_views_same_mapping () =
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
   Stack.run stack (Time.sec 8);
   let side_a = view_at stack 0 group and side_b = view_at stack 2 group in
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 14);
   let merged = view_at stack 0 group in
   Alcotest.(check (list int)) "merged members" [ 0; 1; 2; 3 ] merged.View.members;
@@ -330,7 +331,7 @@ let test_heal_merges_lwg_views_same_mapping () =
 
 let test_lossy_network_end_to_end () =
   let stack, log = make ~n:3 ~seed:61 () in
-  Engine.(ignore (stats stack.Stack.engine));
+  Sim_rt.(ignore (stats stack.Stack.engine));
   let stack, log =
     (* rebuild with a lossy model *)
     ignore (stack, log);
@@ -367,11 +368,11 @@ let test_static_mode_partition_heal () =
   let group = lwg 0 in
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
-  Engine.set_partition stack.Stack.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Stack.run stack (Time.sec 8);
   Alcotest.(check (list int)) "side A" [ 0; 1 ] (view_at stack 0 group).View.members;
   Alcotest.(check (list int)) "side B" [ 2; 3 ] (view_at stack 2 group).View.members;
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 14);
   Alcotest.(check bool) "merged without naming service" true (Stack.lwg_converged stack group);
   Alcotest.(check (list int)) "all back" [ 0; 1; 2; 3 ] (view_at stack 1 group).View.members;
@@ -385,9 +386,9 @@ let test_direct_mode_partition_heal () =
   let group = lwg 0 in
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 6);
-  Engine.set_partition stack.Stack.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Stack.run stack (Time.sec 6);
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 8);
   Alcotest.(check (list int)) "merged" [ 0; 1; 2; 3 ] (view_at stack 3 group).View.members;
   Service.send stack.Stack.services.(0) group (App 9);
@@ -401,7 +402,7 @@ let test_lwg_coordinator_crash () =
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
   (* node 0 coordinates both the LWG view and its carrier; kill it *)
-  Engine.crash stack.Stack.engine 0;
+  Sim_rt.crash stack.Stack.engine 0;
   Stack.run stack (Time.sec 6);
   Alcotest.(check (list int)) "survivors re-form" [ 1; 2; 3 ] (view_at stack 1 group).View.members;
   Alcotest.(check bool) "converged" true (Stack.lwg_converged stack group);
@@ -417,12 +418,12 @@ let test_leave_during_partition () =
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ];
   Stack.run stack (Time.sec 6);
   Service.leave stack.Stack.services.(3) group;
   Stack.run stack (Time.sec 4);
   Alcotest.(check (list int)) "side B shrank" [ 2 ] (view_at stack 2 group).View.members;
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 14);
   Alcotest.(check (list int)) "merged without the leaver" [ 0; 1; 2 ] (view_at stack 0 group).View.members;
   Alcotest.(check bool) "leaver stays out" true (Service.view_of stack.Stack.services.(3) group = None);
@@ -559,8 +560,8 @@ let lwg_relay ~ordering ~seed =
   Array.iter (fun service -> Service.join ~ordering service group) stack.Stack.services;
   Stack.run stack (Time.sec 10);
   for k = 1 to 40 do
-    let (_ : Engine.cancel) =
-      Engine.after stack.Stack.engine (Time.ms (5 * k)) (fun () ->
+    let (_ : Sim_rt.cancel) =
+      Sim_rt.after stack.Stack.engine (Time.ms (5 * k)) (fun () ->
           Service.send stack.Stack.services.(1) group (Ask k))
     in
     ()

@@ -3,6 +3,7 @@
    MULTIPLE-MAPPINGS callback across a partition/heal cycle. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Db = Plwg_naming.Db
 module Server = Plwg_naming.Server
@@ -152,7 +153,7 @@ let prop_db_merge_commutes =
 (* ---------------- server/client integration ---------------- *)
 
 type fixture = {
-  engine : Engine.t;
+  engine : Sim_rt.t;
   servers : Server.t array;
   clients : Client.t array;
 }
@@ -160,8 +161,8 @@ type fixture = {
 (* nodes 0..n_clients-1 are clients; the last two nodes are replicas *)
 let setup ?(seed = 8) ~n_clients () =
   let n = n_clients + 2 in
-  let engine = Engine.create ~model:Model.default ~seed ~n_nodes:n () in
-  let transport = Transport.create engine in
+  let engine = Sim_rt.create ~model:Model.default ~seed ~n_nodes:n () in
+  let transport = Transport.create (Sim_rt.rt engine) in
   let detectors = Array.init n (fun node -> Detector.create transport node) in
   let server_nodes = [ n_clients; n_clients + 1 ] in
   let servers =
@@ -181,14 +182,14 @@ let setup ?(seed = 8) ~n_clients () =
 
 let test_client_set_read () =
   let f = setup ~n_clients:2 () in
-  Engine.run f.engine ~until:(Time.ms 500);
+  Sim_rt.run f.engine ~until:(Time.ms 500);
   let done_set = ref false and got = ref None in
   Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> done_set := ok);
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   Alcotest.(check bool) "set acked" true !done_set;
   (* after a gossip round, reads against EITHER replica see the mapping *)
   Client.read f.clients.(1) lwg_a ~k:(fun entries -> got := Some entries);
-  Engine.run f.engine ~until:(Time.sec 4);
+  Sim_rt.run f.engine ~until:(Time.sec 4);
   (match !got with
   | Some [ e ] -> Alcotest.(check bool) "mapping visible" true (Gid.equal e.Db.hwg hwg_1)
   | Some other -> Alcotest.failf "expected 1 entry, got %d" (List.length other)
@@ -199,22 +200,22 @@ let test_client_set_read () =
 
 let test_client_read_unknown () =
   let f = setup ~n_clients:1 () in
-  Engine.run f.engine ~until:(Time.ms 500);
+  Sim_rt.run f.engine ~until:(Time.ms 500);
   let got = ref None in
   Client.read f.clients.(0) lwg_b ~k:(fun entries -> got := Some entries);
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   Alcotest.(check (option (list unit))) "empty" (Some []) (Option.map (List.map ignore) !got)
 
 let test_client_testset_race () =
   let f = setup ~n_clients:2 () in
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   (* both clients race a testset; replicas have gossiped, so whoever is
      second sees the first mapping *)
   let r0 = ref None and r1 = ref None in
   Client.test_and_set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun e -> r0 := Some e);
-  Engine.run_span f.engine (Time.sec 2);
+  Sim_rt.run_span f.engine (Time.sec 2);
   Client.test_and_set f.clients.(1) (entry ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun e -> r1 := Some e);
-  Engine.run_span f.engine (Time.sec 2);
+  Sim_rt.run_span f.engine (Time.sec 2);
   (match (!r0, !r1) with
   | Some [ e0 ], Some [ e1 ] ->
       Alcotest.(check bool) "first installed" true (Gid.equal e0.Db.hwg hwg_1);
@@ -223,13 +224,13 @@ let test_client_testset_race () =
 
 let test_client_survives_server_crash () =
   let f = setup ~n_clients:1 () in
-  Engine.run f.engine ~until:(Time.sec 1);
+  Sim_rt.run f.engine ~until:(Time.sec 1);
   (* kill the first replica; the client must fail over to the second *)
-  Engine.crash f.engine (Server.node f.servers.(0));
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.crash f.engine (Server.node f.servers.(0));
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   let acked = ref false in
   Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> acked := ok);
-  Engine.run f.engine ~until:(Time.sec 6);
+  Sim_rt.run f.engine ~until:(Time.sec 6);
   Alcotest.(check bool) "failover ack" true !acked;
   Alcotest.(check int) "stored at survivor" 1 (List.length (Db.read (Server.db f.servers.(1)) lwg_a))
 
@@ -238,13 +239,13 @@ let test_client_gives_up_with_explicit_failure () =
      client retries, then gives up and invokes the callback with a
      failure (false ack / empty read) *)
   let f = setup ~n_clients:1 () in
-  Engine.run f.engine ~until:(Time.sec 1);
-  Array.iter (fun server -> Engine.crash f.engine (Server.node server)) f.servers;
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.run f.engine ~until:(Time.sec 1);
+  Array.iter (fun server -> Sim_rt.crash f.engine (Server.node server)) f.servers;
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   let set_result = ref None and read_result = ref None in
   Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun ok -> set_result := Some ok);
   Client.read f.clients.(0) lwg_a ~k:(fun entries -> read_result := Some entries);
-  Engine.run f.engine ~until:(Time.sec 60);
+  Sim_rt.run f.engine ~until:(Time.sec 60);
   Alcotest.(check (option bool)) "set failed explicitly" (Some false) !set_result;
   Alcotest.(check (option (list unit))) "read failed explicitly" (Some [])
     (Option.map (List.map ignore) !read_result)
@@ -260,15 +261,15 @@ let test_multiple_mappings_callback_on_heal () =
     (fun i client ->
       Client.on_multiple_mappings client (fun lwg entries -> notified := (i, lwg, List.length entries) :: !notified))
     f.clients;
-  Engine.run f.engine ~until:(Time.sec 1);
-  Engine.set_partition f.engine [ [ 0; server0 ]; [ 1; server1 ] ];
-  Engine.run f.engine ~until:(Time.sec 1);
+  Sim_rt.run f.engine ~until:(Time.sec 1);
+  Sim_rt.set_partition f.engine [ [ 0; server0 ]; [ 1; server1 ] ];
+  Sim_rt.run f.engine ~until:(Time.sec 1);
   Client.set f.clients.(0) (entry ~members:[ 0 ] ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun _ -> ());
   Client.set f.clients.(1) (entry ~members:[ 1 ] ~lwg:lwg_a ~lwg_view:(vid 1 1) ~hwg:hwg_2 ()) ~k:(fun _ -> ());
-  Engine.run f.engine ~until:(Time.sec 3);
+  Sim_rt.run f.engine ~until:(Time.sec 3);
   Alcotest.(check (list unit)) "no callback during partition" [] (List.map ignore !notified);
-  Engine.heal f.engine;
-  Engine.run f.engine ~until:(Time.sec 5);
+  Sim_rt.heal f.engine;
+  Sim_rt.run f.engine ~until:(Time.sec 5);
   let got_0 = List.exists (fun (i, lwg, n) -> i = 0 && Gid.equal lwg lwg_a && n = 2) !notified in
   let got_1 = List.exists (fun (i, lwg, n) -> i = 1 && Gid.equal lwg lwg_a && n = 2) !notified in
   Alcotest.(check bool) "member 0 notified" true got_0;
@@ -279,14 +280,14 @@ let test_multiple_mappings_callback_on_heal () =
 
 let test_gc_propagates_to_replicas () =
   let f = setup ~n_clients:2 () in
-  Engine.run f.engine ~until:(Time.sec 1);
+  Sim_rt.run f.engine ~until:(Time.sec 1);
   Client.set f.clients.(0) (entry ~lwg:lwg_a ~lwg_view:(vid 0 1) ~hwg:hwg_1 ()) ~k:(fun _ -> ());
-  Engine.run f.engine ~until:(Time.sec 2);
+  Sim_rt.run f.engine ~until:(Time.sec 2);
   (* the merged view supersedes the old one *)
   Client.set f.clients.(1)
     (entry ~lwg:lwg_a ~lwg_view:(vid 0 2) ~hwg:hwg_1 ~preds:[ vid 0 1 ] ())
     ~k:(fun _ -> ());
-  Engine.run f.engine ~until:(Time.sec 3);
+  Sim_rt.run f.engine ~until:(Time.sec 3);
   Array.iter
     (fun server ->
       match Db.read (Server.db server) lwg_a with

@@ -3,6 +3,7 @@
    HWG id, local peer discovery, and the merge-views protocol. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Service = Plwg.Service
 module Stack = Plwg_harness.Stack
@@ -37,7 +38,7 @@ let view_at stack node group =
 
 let split stack =
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ]
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ] ]
 
 (* The full cycle: diverging mappings in concurrent partitions are
    reconciled after the heal onto the HWG with the highest group id. *)
@@ -59,7 +60,7 @@ let test_reconcile_conflicting_mappings () =
   Alcotest.(check bool) "side A stayed" true (Service.mapping_of stack.Stack.services.(0) group = Some h1);
   (* heal: step 1 (ns callback), step 2 (switch to max gid), step 3
      (local discovery), step 4 (merge-views) must all run *)
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 25);
   Alcotest.(check bool) "converged" true (Stack.lwg_converged stack group);
   List.iter
@@ -110,7 +111,7 @@ let test_reconcile_crisscross () =
   Service.request_switch stack.Stack.services.(0) a ha;
   Service.request_switch stack.Stack.services.(2) b hb;
   Stack.run stack (Time.sec 8);
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 30);
   Alcotest.(check bool) "a converged" true (Stack.lwg_converged stack a);
   Alcotest.(check bool) "b converged" true (Stack.lwg_converged stack b);
@@ -134,7 +135,7 @@ let test_merge_triggered_by_traffic () =
   Stack.run stack (Time.sec 10);
   split stack;
   Stack.run stack (Time.sec 6);
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   (* start sending immediately after the heal: traffic races the gossip *)
   for i = 1 to 20 do
     Service.send stack.Stack.services.(0) group (App i);
@@ -162,7 +163,7 @@ let test_repeated_partition_cycles () =
   for _cycle = 1 to 3 do
     split stack;
     Stack.run stack (Time.sec 6);
-    Engine.heal stack.Stack.engine;
+    Sim_rt.heal stack.Stack.engine;
     Stack.run stack (Time.sec 16)
   done;
   Alcotest.(check bool) "converged after 3 cycles" true (Stack.lwg_converged stack group);
@@ -184,7 +185,7 @@ let test_merge_counted () =
   Stack.run stack (Time.sec 10);
   split stack;
   Stack.run stack (Time.sec 6);
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 16);
   let total = Array.fold_left (fun acc s -> acc + Service.merge_count s) 0 stack.Stack.services in
   Alcotest.(check bool) "merges recorded" true (total > 0);
@@ -198,12 +199,12 @@ let test_three_way_partition () =
   Array.iter (fun service -> Service.join service group) stack.Stack.services;
   Stack.run stack (Time.sec 12);
   let s0 = List.nth stack.Stack.server_nodes 0 and s1 = List.nth stack.Stack.server_nodes 1 in
-  Engine.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ]; [ 4; 5 ] ];
+  Sim_rt.set_partition stack.Stack.engine [ [ 0; 1; s0 ]; [ 2; 3; s1 ]; [ 4; 5 ] ];
   Stack.run stack (Time.sec 8);
   Alcotest.(check (list int)) "side 1" [ 0; 1 ] (view_at stack 0 group).View.members;
   Alcotest.(check (list int)) "side 2" [ 2; 3 ] (view_at stack 2 group).View.members;
   Alcotest.(check (list int)) "side 3" [ 4; 5 ] (view_at stack 4 group).View.members;
-  Engine.heal stack.Stack.engine;
+  Sim_rt.heal stack.Stack.engine;
   Stack.run stack (Time.sec 25);
   Alcotest.(check bool) "converged" true (Stack.lwg_converged stack group);
   Alcotest.(check (list int)) "all six" [ 0; 1; 2; 3; 4; 5 ] (view_at stack 5 group).View.members;

@@ -1,0 +1,136 @@
+(* Runtime layer: unit tests for the OCaml 5 multi-domain backend, and
+   the sim-as-oracle conformance property (one seeded scenario through
+   both backends, equivalence modulo per-node commutativity). *)
+
+open Plwg_sim
+module Rt = Plwg_runtime.Rt
+module Domains_rt = Plwg_runtime_domains.Domains_rt
+module Conformance = Plwg_harness.Conformance
+
+type Payload.t += Ping of int
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain backend primitives                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_send_delivers () =
+  let b = Domains_rt.create ~model:Model.lossless ~n_domains:2 ~seed:5 ~n_nodes:2 () in
+  let rt = Domains_rt.rt b in
+  let got = ref [] in
+  Rt.subscribe rt 1 (fun ~src payload -> match payload with Ping i -> got := (src, i) :: !got | _ -> ());
+  (* wiring-time sends from the main domain, one per destination domain *)
+  Rt.send rt ~src:0 ~dst:1 (Ping 1);
+  Rt.send rt ~src:1 ~dst:1 (Ping 2);
+  Domains_rt.run b ~until:(Time.ms 10);
+  (* the self-send skips the link, so it delivers first; newest first *)
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 1); (1, 2) ] !got;
+  Alcotest.(check int) "stats.delivered" 2 (Domains_rt.stats b).Domains_rt.delivered;
+  Alcotest.(check int) "drained" 0 (Domains_rt.in_flight b)
+
+let test_cross_domain_send_mid_run () =
+  (* node 0 (domain 0) pings node 1 (domain 1) from inside a timer;
+     node 1 echoes from inside its receive handler *)
+  let b = Domains_rt.create ~model:Model.lossless ~n_domains:2 ~seed:5 ~n_nodes:2 () in
+  let rt = Domains_rt.rt b in
+  let echoed = ref None in
+  Rt.subscribe rt 1 (fun ~src payload ->
+      match payload with Ping i -> Rt.send rt ~src:1 ~dst:src (Ping (i + 1)) | _ -> ());
+  Rt.subscribe rt 0 (fun ~src:_ payload ->
+      match payload with Ping i -> echoed := Some (i, Rt.now rt) | _ -> ());
+  Rt.at_node_ rt 0 (Time.ms 1) (fun () -> Rt.send rt ~src:0 ~dst:1 (Ping 10));
+  Domains_rt.run b ~until:(Time.ms 10);
+  match !echoed with
+  | None -> Alcotest.fail "echo never came back"
+  | Some (i, at) ->
+      Alcotest.(check int) "echo payload" 11 i;
+      (* 1ms timer + two lossless link hops + two cpu dispatches *)
+      let expect =
+        Time.add (Time.ms 1)
+          (Time.add
+             (2 * Model.lossless.Model.link_base)
+             (2 * Model.lossless.Model.proc_time))
+      in
+      Alcotest.(check int) "echo arrival time" expect at
+
+let test_timers_and_clock () =
+  let n_nodes = 4 in
+  let b = Domains_rt.create ~model:Model.default ~n_domains:3 ~seed:9 ~n_nodes () in
+  let rt = Domains_rt.rt b in
+  let ticks = Array.make n_nodes 0 in
+  for node = 0 to n_nodes - 1 do
+    let rec loop () =
+      ticks.(node) <- ticks.(node) + 1;
+      Rt.at_node_ rt node (Time.ms 1) loop
+    in
+    Rt.at_node_ rt node (Time.ms 1) loop
+  done;
+  Domains_rt.run b ~until:(Time.ms 10);
+  Array.iteri (fun node n -> Alcotest.(check int) (Printf.sprintf "ticks at n%d" node) 10 n) ticks;
+  Alcotest.(check int) "main-domain clock after run" (Time.ms 10) (Domains_rt.now b);
+  (* a second run resumes where the first stopped *)
+  Domains_rt.run_span b (Time.ms 5);
+  Array.iteri (fun node n -> Alcotest.(check int) (Printf.sprintf "resumed ticks at n%d" node) 15 n) ticks
+
+let test_cancel () =
+  let b = Domains_rt.create ~model:Model.default ~n_domains:2 ~seed:9 ~n_nodes:2 () in
+  let rt = Domains_rt.rt b in
+  let fired = ref false in
+  let cancel = Rt.after_node rt 1 (Time.ms 2) (fun () -> fired := true) in
+  Rt.at_node_ rt 1 (Time.ms 1) (fun () -> cancel ());
+  Domains_rt.run b ~until:(Time.ms 10);
+  Alcotest.(check bool) "cancelled timer never fired" false !fired
+
+let test_rng_streams_match_backends () =
+  (* the same node draws the same stream on both backends *)
+  let sim = Plwg_runtime.Sim_rt.create ~model:Model.lossless ~seed:77 ~n_nodes:3 () in
+  let dom = Domains_rt.create ~model:Model.default ~n_domains:2 ~seed:77 ~n_nodes:3 () in
+  let draws rt node = List.init 4 (fun _ -> Plwg_util.Rng.int (Rt.rng_node rt node) 1_000_000) in
+  (* the sim aliases every node stream to its root schedule stream; the
+     domains backend gives node [n] the indexed stream [n].  What must
+     hold on both: a node's future draws are a function of its own past
+     draw count only, so two fresh same-seed backends agree per node. *)
+  let dom' = Domains_rt.create ~model:Model.default ~n_domains:3 ~seed:77 ~n_nodes:3 () in
+  List.iter
+    (fun node ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains n%d draws are domain-count independent" node)
+        (draws (Domains_rt.rt dom) node)
+        (draws (Domains_rt.rt dom') node))
+    [ 0; 1; 2 ];
+  ignore (draws (Plwg_runtime.Sim_rt.rt sim) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Conformance: the sim as oracle                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_conformance seed () =
+  match Conformance.check ~seed ~n_domains:2 with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "\n" errs)
+
+let test_diff_detects_divergence () =
+  let o = Conformance.run_sim ~seed:3 in
+  match o.Conformance.channels with
+  | [] -> Alcotest.fail "scenario produced no channels"
+  | c :: rest -> (
+      let mutilated =
+        { o with Conformance.channels = { c with Conformance.seqs = List.tl c.Conformance.seqs } :: rest }
+      in
+      (match Conformance.diff ~oracle:o ~candidate:mutilated with
+      | [] -> Alcotest.fail "diff missed a dropped delivery"
+      | _ -> ());
+      match Conformance.diff ~oracle:o ~candidate:o with
+      | [] -> ()
+      | errs -> Alcotest.fail ("diff of an outcome against itself: " ^ String.concat "; " errs))
+
+let suite =
+  [
+    Alcotest.test_case "cross-domain send delivers" `Quick test_send_delivers;
+    Alcotest.test_case "mid-run echo across domains" `Quick test_cross_domain_send_mid_run;
+    Alcotest.test_case "node timers tick and the clock resumes" `Quick test_timers_and_clock;
+    Alcotest.test_case "after_node cancel" `Quick test_cancel;
+    Alcotest.test_case "per-node rng streams are backend-stable" `Quick test_rng_streams_match_backends;
+    Alcotest.test_case "diff detects divergence" `Quick test_diff_detects_divergence;
+    Alcotest.test_case "conformance: seed 1, 2 domains" `Slow (test_conformance 1);
+    Alcotest.test_case "conformance: seed 13, 2 domains" `Slow (test_conformance 13);
+  ]

@@ -2,10 +2,11 @@
    topology, partitions, determinism. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 
 type Payload.t += Ping of int
 
-let make ?(model = Model.lossless) ?(n = 4) ?(seed = 1) () = Engine.create ~model ~seed ~n_nodes:n ()
+let make ?(model = Model.lossless) ?(n = 4) ?(seed = 1) () = Sim_rt.create ~model ~seed ~n_nodes:n ()
 
 let test_time_units () =
   Alcotest.(check int) "ms" 1_000 (Time.ms 1);
@@ -17,13 +18,13 @@ let test_timer_ordering () =
   let engine = make () in
   let log = ref [] in
   let at label span =
-    let (_ : Engine.cancel) = Engine.after engine span (fun () -> log := label :: !log) in
+    let (_ : Sim_rt.cancel) = Sim_rt.after engine span (fun () -> log := label :: !log) in
     ()
   in
   at "c" (Time.ms 30);
   at "a" (Time.ms 10);
   at "b" (Time.ms 20);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list string)) "fire order" [ "a"; "b"; "c" ] (List.rev !log)
 
 let test_timer_same_instant_fifo () =
@@ -31,60 +32,60 @@ let test_timer_same_instant_fifo () =
   let log = ref [] in
   List.iter
     (fun label ->
-      let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> log := label :: !log) in
+      let (_ : Sim_rt.cancel) = Sim_rt.after engine (Time.ms 5) (fun () -> log := label :: !log) in
       ())
     [ "x"; "y"; "z" ];
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list string)) "insertion order at equal times" [ "x"; "y"; "z" ] (List.rev !log)
 
 let test_timer_cancel () =
   let engine = make () in
   let fired = ref false in
-  let cancel = Engine.after engine (Time.ms 5) (fun () -> fired := true) in
+  let cancel = Sim_rt.after engine (Time.ms 5) (fun () -> fired := true) in
   cancel ();
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check bool) "cancelled timer silent" false !fired
 
 let test_node_timer_skipped_when_crashed () =
   let engine = make () in
   let fired = ref false in
-  let (_ : Engine.cancel) = Engine.after_node engine 2 (Time.ms 50) (fun () -> fired := true) in
-  Engine.crash engine 2;
-  Engine.run engine ~until:(Time.sec 1);
+  let (_ : Sim_rt.cancel) = Sim_rt.after_node engine 2 (Time.ms 50) (fun () -> fired := true) in
+  Sim_rt.crash engine 2;
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check bool) "timer of crashed node skipped" false !fired
 
 let test_send_delivers () =
   let engine = make () in
   let got = ref [] in
-  Engine.subscribe engine 1 (fun ~src payload -> match payload with Ping n -> got := (src, n) :: !got | _ -> ());
-  Engine.send engine ~src:0 ~dst:1 (Ping 7);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src payload -> match payload with Ping n -> got := (src, n) :: !got | _ -> ());
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 7);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "delivered once" [ (0, 7) ] !got
 
 let test_send_latency_positive () =
   let engine = make () in
   let delivered_at = ref Time.zero in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> delivered_at := Engine.now engine);
-  Engine.send engine ~src:0 ~dst:1 (Ping 0);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> delivered_at := Sim_rt.now engine);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 0);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check bool) "latency >= base + proc" true (!delivered_at >= Model.lossless.Model.link_base + Model.lossless.Model.proc_time)
 
 let test_self_send () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 0 (fun ~src:_ _ -> incr got);
-  Engine.send engine ~src:0 ~dst:0 (Ping 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 0 (fun ~src:_ _ -> incr got);
+  Sim_rt.send engine ~src:0 ~dst:0 (Ping 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "self loop-back" 1 !got
 
 let test_fifo_per_pair () =
   let engine = make () in
   let got = ref [] in
-  Engine.subscribe engine 1 (fun ~src:_ payload -> match payload with Ping n -> got := n :: !got | _ -> ());
+  Sim_rt.subscribe engine 1 (fun ~src:_ payload -> match payload with Ping n -> got := n :: !got | _ -> ());
   for i = 1 to 20 do
-    Engine.send engine ~src:0 ~dst:1 (Ping i)
+    Sim_rt.send engine ~src:0 ~dst:1 (Ping i)
   done;
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list int)) "fifo between a fixed pair (lossless, no jitter)" (List.init 20 (fun i -> i + 1))
     (List.rev !got)
 
@@ -92,10 +93,10 @@ let test_cpu_queue_serializes () =
   (* Two messages arriving together must be processed [proc_time] apart. *)
   let engine = make () in
   let times = ref [] in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> times := Engine.now engine :: !times);
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.send engine ~src:0 ~dst:1 (Ping 2);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> times := Sim_rt.now engine :: !times);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 2);
+  Sim_rt.run engine ~until:(Time.sec 1);
   match List.rev !times with
   | [ t1; t2 ] -> Alcotest.(check int) "second waits for cpu" Model.lossless.Model.proc_time (Time.diff t2 t1)
   | other -> Alcotest.failf "expected 2 deliveries, got %d" (List.length other)
@@ -103,42 +104,42 @@ let test_cpu_queue_serializes () =
 let test_crashed_sender_drops () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
-  Engine.crash engine 0;
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Sim_rt.crash engine 0;
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "nothing from crashed sender" 0 !got
 
 let test_crashed_receiver_drops () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
-  Engine.crash engine 1;
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Sim_rt.crash engine 1;
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "nothing to crashed receiver" 0 !got
 
 let test_partition_blocks () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 2 (fun ~src:_ _ -> incr got);
-  Engine.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
-  Engine.send engine ~src:0 ~dst:2 (Ping 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 2 (fun ~src:_ _ -> incr got);
+  Sim_rt.set_partition engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.send engine ~src:0 ~dst:2 (Ping 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "across partition" 0 !got;
-  Engine.heal engine;
-  Engine.send engine ~src:0 ~dst:2 (Ping 2);
-  Engine.run engine ~until:(Time.sec 2);
+  Sim_rt.heal engine;
+  Sim_rt.send engine ~src:0 ~dst:2 (Ping 2);
+  Sim_rt.run engine ~until:(Time.sec 2);
   Alcotest.(check int) "after heal" 1 !got
 
 let test_partition_cuts_in_flight () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
   (* partition installed before the message's arrival time *)
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "in-flight message cut" 0 !got
 
 let test_topology_validation () =
@@ -164,24 +165,24 @@ let test_topology_component () =
 let test_lossy_model_drops () =
   let engine = make ~model:(Model.lossy 1.0) () in
   let got = ref 0 in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "p=1 loses all" 0 !got;
-  Alcotest.(check int) "drop counted" 1 (Engine.stats engine).Engine.wire_dropped
+  Alcotest.(check int) "drop counted" 1 (Sim_rt.stats engine).Sim_rt.wire_dropped
 
 let test_determinism_across_runs () =
   let run () =
     let engine = make ~model:Model.default ~seed:77 () in
     let log = ref [] in
     for node = 0 to 3 do
-      Engine.subscribe engine node (fun ~src payload ->
-          match payload with Ping n -> log := (Engine.now engine, src, node, n) :: !log | _ -> ())
+      Sim_rt.subscribe engine node (fun ~src payload ->
+          match payload with Ping n -> log := (Sim_rt.now engine, src, node, n) :: !log | _ -> ())
     done;
     for i = 1 to 30 do
-      Engine.send engine ~src:(i mod 4) ~dst:((i + 1) mod 4) (Ping i)
+      Sim_rt.send engine ~src:(i mod 4) ~dst:((i + 1) mod 4) (Ping i)
     done;
-    Engine.run engine ~until:(Time.sec 1);
+    Sim_rt.run engine ~until:(Time.sec 1);
     !log
   in
   Alcotest.(check bool) "identical event logs from same seed" true (run () = run ())
@@ -189,35 +190,35 @@ let test_determinism_across_runs () =
 let test_fault_script () =
   let engine = make () in
   let got = ref 0 in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> incr got);
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> incr got);
   Fault.install engine
     [ (Time.ms 10, Fault.Partition [ [ 0 ]; [ 1; 2; 3 ] ]); (Time.ms 50, Fault.Heal); (Time.ms 80, Fault.Crash 0) ];
   (* before the partition: delivered *)
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.run engine ~until:(Time.ms 20);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.run engine ~until:(Time.ms 20);
   (* during the partition: dropped *)
-  Engine.send engine ~src:0 ~dst:1 (Ping 2);
-  Engine.run engine ~until:(Time.ms 60);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 2);
+  Sim_rt.run engine ~until:(Time.ms 60);
   (* after heal: delivered *)
-  Engine.send engine ~src:0 ~dst:1 (Ping 3);
-  Engine.run engine ~until:(Time.ms 85);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 3);
+  Sim_rt.run engine ~until:(Time.ms 85);
   (* after crash of 0: dropped *)
-  Engine.send engine ~src:0 ~dst:1 (Ping 4);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 4);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check int) "fault script shapes delivery" 2 !got
 
 let test_engine_stats () =
   let engine = make () in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> ());
-  Engine.send engine ~src:0 ~dst:1 (Ping 1);
-  Engine.run_span engine (Time.ms 100);
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
-  Engine.send engine ~src:0 ~dst:1 (Ping 2);
-  Engine.run engine ~until:(Time.sec 1);
-  let stats = Engine.stats engine in
-  Alcotest.(check int) "sent counts reachable sends" 1 stats.Engine.sent;
-  Alcotest.(check int) "delivered" 1 stats.Engine.delivered;
-  Alcotest.(check int) "unreachable dropped" 1 stats.Engine.unreachable_dropped
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> ());
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 1);
+  Sim_rt.run_span engine (Time.ms 100);
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.send engine ~src:0 ~dst:1 (Ping 2);
+  Sim_rt.run engine ~until:(Time.sec 1);
+  let stats = Sim_rt.stats engine in
+  Alcotest.(check int) "sent counts reachable sends" 1 stats.Sim_rt.sent;
+  Alcotest.(check int) "delivered" 1 stats.Sim_rt.delivered;
+  Alcotest.(check int) "unreachable dropped" 1 stats.Sim_rt.unreachable_dropped
 
 (* Regressions pinning timer-cancellation semantics across the
    heap->wheel swap.  The heap tolerated stale/cancelled entries popping
@@ -229,61 +230,61 @@ let test_timer_cancel_from_earlier_timer () =
   let engine = make () in
   let fired = ref false in
   let cancel_b = ref (fun () -> ()) in
-  let (_ : Engine.cancel) =
-    Engine.after engine (Time.ms 5) (fun () -> !cancel_b ())
+  let (_ : Sim_rt.cancel) =
+    Sim_rt.after engine (Time.ms 5) (fun () -> !cancel_b ())
   in
-  cancel_b := Engine.after engine (Time.ms 10) (fun () -> fired := true);
-  Engine.run engine ~until:(Time.sec 1);
+  cancel_b := Sim_rt.after engine (Time.ms 10) (fun () -> fired := true);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check bool) "timer cancelled mid-run never fires" false !fired
 
 let test_timer_cancel_same_instant () =
   let engine = make () in
   let log = ref [] in
   let cancel_b = ref (fun () -> ()) in
-  let (_ : Engine.cancel) =
-    Engine.after engine (Time.ms 5) (fun () ->
+  let (_ : Sim_rt.cancel) =
+    Sim_rt.after engine (Time.ms 5) (fun () ->
         log := "a" :: !log;
         !cancel_b ())
   in
-  cancel_b := Engine.after engine (Time.ms 5) (fun () -> log := "b" :: !log);
-  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> log := "c" :: !log) in
-  Engine.run engine ~until:(Time.sec 1);
+  cancel_b := Sim_rt.after engine (Time.ms 5) (fun () -> log := "b" :: !log);
+  let (_ : Sim_rt.cancel) = Sim_rt.after engine (Time.ms 5) (fun () -> log := "c" :: !log) in
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list string)) "co-scheduled cancelled timer skipped, rest fire" [ "a"; "c" ] (List.rev !log)
 
 let test_timer_stale_cancel_after_fire () =
   let engine = make () in
   let first = ref false and second = ref false in
-  let cancel_first = Engine.after engine (Time.ms 5) (fun () -> first := true) in
-  Engine.run engine ~until:(Time.ms 20);
+  let cancel_first = Sim_rt.after engine (Time.ms 5) (fun () -> first := true) in
+  Sim_rt.run engine ~until:(Time.ms 20);
   Alcotest.(check bool) "first fired" true !first;
   (* the new timer reuses the pooled slot the first one occupied *)
-  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> second := true) in
+  let (_ : Sim_rt.cancel) = Sim_rt.after engine (Time.ms 5) (fun () -> second := true) in
   cancel_first ();
   cancel_first ();
-  Engine.run engine ~until:(Time.ms 40);
+  Sim_rt.run engine ~until:(Time.ms 40);
   Alcotest.(check bool) "stale cancel cannot kill the slot's new occupant" true !second
 
 let test_in_flight_accounting () =
   let engine = make () in
-  Engine.subscribe engine 1 (fun ~src:_ _ -> ());
+  Sim_rt.subscribe engine 1 (fun ~src:_ _ -> ());
   for i = 1 to 5 do
-    Engine.send engine ~src:0 ~dst:1 (Ping i)
+    Sim_rt.send engine ~src:0 ~dst:1 (Ping i)
   done;
-  Alcotest.(check int) "all sends in flight" 5 (Engine.in_flight engine);
-  Engine.run engine ~until:(Time.sec 1);
-  Alcotest.(check int) "drained" 0 (Engine.in_flight engine);
-  let stats = Engine.stats engine in
-  Alcotest.(check int) "fault-free: sent = delivered" stats.Engine.sent stats.Engine.delivered
+  Alcotest.(check int) "all sends in flight" 5 (Sim_rt.in_flight engine);
+  Sim_rt.run engine ~until:(Time.sec 1);
+  Alcotest.(check int) "drained" 0 (Sim_rt.in_flight engine);
+  let stats = Sim_rt.stats engine in
+  Alcotest.(check int) "fault-free: sent = delivered" stats.Sim_rt.sent stats.Sim_rt.delivered
 
 let test_run_until_idle () =
   let engine = make () in
   let fired = ref false in
-  let (_ : Engine.cancel) = Engine.after engine (Time.ms 5) (fun () -> fired := true) in
-  Engine.run_until_idle ~limit:(Time.sec 2) engine;
+  let (_ : Sim_rt.cancel) = Sim_rt.after engine (Time.ms 5) (fun () -> fired := true) in
+  Sim_rt.run_until_idle ~limit:(Time.sec 2) engine;
   Alcotest.(check bool) "drained" true !fired;
   (* regression: the clock must land on the horizon, like [run], not on
      the last event *)
-  Alcotest.(check int) "now reaches the limit" (Time.sec 2) (Engine.now engine)
+  Alcotest.(check int) "now reaches the limit" (Time.sec 2) (Sim_rt.now engine)
 
 let suite =
   [

@@ -2,13 +2,14 @@
    connection reset across partitions, broadcast datagrams. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 module Transport = Plwg_transport.Transport
 
 type Payload.t += Msg of int
 
 let setup ?(model = Model.lossless) ?(seed = 3) ?(n = 4) () =
-  let engine = Engine.create ~model ~seed ~n_nodes:n () in
-  let transport = Transport.create engine in
+  let engine = Sim_rt.create ~model ~seed ~n_nodes:n () in
+  let transport = Transport.create (Sim_rt.rt engine) in
   (engine, transport)
 
 let collect transport node =
@@ -21,7 +22,7 @@ let test_basic_delivery () =
   let engine, transport = setup () in
   let got = collect transport 1 in
   Transport.send (Transport.endpoint transport 0) ~dst:1 (Msg 42);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "one message" [ (0, 42) ] !got
 
 let test_fifo_order () =
@@ -31,7 +32,7 @@ let test_fifo_order () =
   for i = 1 to 50 do
     Transport.send ep ~dst:1 (Msg i)
   done;
-  Engine.run engine ~until:(Time.sec 2);
+  Sim_rt.run engine ~until:(Time.sec 2);
   Alcotest.(check (list int)) "in order, no gaps, no dups" (List.init 50 (fun i -> i + 1))
     (List.rev_map snd !got)
 
@@ -43,7 +44,7 @@ let test_loss_masked () =
   for i = 1 to 40 do
     Transport.send ep ~dst:1 (Msg i)
   done;
-  Engine.run engine ~until:(Time.sec 20);
+  Sim_rt.run engine ~until:(Time.sec 20);
   Alcotest.(check (list int)) "reliable despite loss" (List.init 40 (fun i -> i + 1)) (List.rev_map snd !got)
 
 let test_heavy_loss_masked () =
@@ -53,7 +54,7 @@ let test_heavy_loss_masked () =
   for i = 1 to 10 do
     Transport.send ep ~dst:2 (Msg i)
   done;
-  Engine.run engine ~until:(Time.sec 60);
+  Sim_rt.run engine ~until:(Time.sec 60);
   Alcotest.(check (list int)) "reliable at 60% loss" (List.init 10 (fun i -> i + 1)) (List.rev_map snd !got)
 
 let test_bidirectional () =
@@ -61,7 +62,7 @@ let test_bidirectional () =
   let got0 = collect transport 0 and got1 = collect transport 1 in
   Transport.send (Transport.endpoint transport 0) ~dst:1 (Msg 1);
   Transport.send (Transport.endpoint transport 1) ~dst:0 (Msg 2);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "0 got" [ (1, 2) ] !got0;
   Alcotest.(check (list (pair int int))) "1 got" [ (0, 1) ] !got1
 
@@ -69,7 +70,7 @@ let test_self_send () =
   let engine, transport = setup () in
   let got = collect transport 0 in
   Transport.send (Transport.endpoint transport 0) ~dst:0 (Msg 5);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "loop-back" [ (0, 5) ] !got
 
 let test_connection_reset_on_partition () =
@@ -78,17 +79,17 @@ let test_connection_reset_on_partition () =
   let engine, transport = setup () in
   let got = collect transport 1 in
   let ep = Transport.endpoint transport 0 in
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
   for i = 1 to 5 do
     Transport.send ep ~dst:1 (Msg i)
   done;
   (* long enough for retransmission to give up: 8 tries, capped backoff *)
-  Engine.run engine ~until:(Time.sec 10);
+  Sim_rt.run engine ~until:(Time.sec 10);
   Alcotest.(check int) "gave up" 0 (Transport.in_flight ep);
   Alcotest.(check (list int)) "nothing crossed the partition" [] (List.rev_map snd !got);
-  Engine.heal engine;
+  Sim_rt.heal engine;
   Transport.send ep ~dst:1 (Msg 100);
-  Engine.run engine ~until:(Time.sec 20);
+  Sim_rt.run engine ~until:(Time.sec 20);
   Alcotest.(check (list int)) "fresh connection works after heal" [ 100 ] (List.rev_map snd !got)
 
 let test_no_stale_replay_after_reset () =
@@ -98,19 +99,19 @@ let test_no_stale_replay_after_reset () =
   let got = collect transport 1 in
   let ep = Transport.endpoint transport 0 in
   Transport.send ep ~dst:1 (Msg 1);
-  Engine.run engine ~until:(Time.ms 5);
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.run engine ~until:(Time.ms 5);
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
   Transport.send ep ~dst:1 (Msg 2);
-  Engine.run engine ~until:(Time.ms 200);
-  Engine.heal engine;
-  Engine.run engine ~until:(Time.sec 5);
+  Sim_rt.run engine ~until:(Time.ms 200);
+  Sim_rt.heal engine;
+  Sim_rt.run engine ~until:(Time.sec 5);
   Alcotest.(check (list int)) "fifo across short outage" [ 1; 2 ] (List.rev_map snd !got)
 
 let test_broadcast_raw () =
   let engine, transport = setup () in
   let got1 = collect transport 1 and got2 = collect transport 2 and got3 = collect transport 3 in
   Transport.broadcast_raw transport ~src:0 (Msg 9);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "node1" [ (0, 9) ] !got1;
   Alcotest.(check (list (pair int int))) "node2" [ (0, 9) ] !got2;
   Alcotest.(check (list (pair int int))) "node3" [ (0, 9) ] !got3
@@ -119,21 +120,21 @@ let test_broadcast_best_effort_loss () =
   let engine, transport = setup ~model:(Model.lossy 1.0) () in
   let got1 = collect transport 1 in
   Transport.broadcast_raw transport ~src:0 (Msg 9);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "datagrams are not retransmitted" [] !got1
 
 let test_send_raw_datagram () =
   let engine, transport = setup () in
   let got = collect transport 1 in
   Transport.send_raw (Transport.endpoint transport 0) ~dst:1 (Msg 3);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (list (pair int int))) "datagram delivered" [ (0, 3) ] !got
 
 let test_send_raw_lossy_not_retransmitted () =
   let engine, transport = setup ~model:(Model.lossy 1.0) () in
   let got = collect transport 1 in
   Transport.send_raw (Transport.endpoint transport 0) ~dst:1 (Msg 3);
-  Engine.run engine ~until:(Time.sec 2);
+  Sim_rt.run engine ~until:(Time.sec 2);
   Alcotest.(check (list (pair int int))) "lost for good" [] !got
 
 let test_two_handlers_both_run () =
@@ -143,7 +144,7 @@ let test_two_handlers_both_run () =
   Transport.on_receive ep1 (fun ~src:_ _ -> incr a);
   Transport.on_receive ep1 (fun ~src:_ _ -> incr b);
   Transport.send (Transport.endpoint transport 0) ~dst:1 (Msg 1);
-  Engine.run engine ~until:(Time.sec 1);
+  Sim_rt.run engine ~until:(Time.sec 1);
   Alcotest.(check (pair int int)) "both layers saw it" (1, 1) (!a, !b)
 
 let test_partition_backlog_fifo () =
@@ -160,8 +161,8 @@ let test_partition_backlog_fifo () =
   for i = 1 to 5 do
     Transport.send ep ~dst:1 (Msg i)
   done;
-  Engine.run engine ~until:(Time.ms 100);
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.run engine ~until:(Time.ms 100);
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
   for i = 6 to 5 + n_backlog do
     Transport.send ep ~dst:1 (Msg i);
     ignore (Transport.in_flight ep)
@@ -169,9 +170,9 @@ let test_partition_backlog_fifo () =
   Alcotest.(check int) "backlog queued" n_backlog (Transport.in_flight ep);
   (* a couple of retransmission rounds fail into the partition, but heal
      well before the give-up horizon so the connection survives *)
-  Engine.run engine ~until:(Time.ms 300);
-  Engine.heal engine;
-  Engine.run engine ~until:(Time.sec 30);
+  Sim_rt.run engine ~until:(Time.ms 300);
+  Sim_rt.heal engine;
+  Sim_rt.run engine ~until:(Time.sec 30);
   Alcotest.(check (list int)) "exactly-once FIFO across the backlog"
     (List.init (5 + n_backlog) (fun i -> i + 1))
     (List.rev_map snd !got);
@@ -195,21 +196,21 @@ let test_pooled_slots_survive_reset_cycles () =
     done
   in
   send_burst 30;
-  Engine.run engine ~until:(Time.sec 2);
+  Sim_rt.run engine ~until:(Time.sec 2);
   (* give-up reset: the backlog's slots are released mid-deque *)
-  Engine.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
+  Sim_rt.set_partition engine [ [ 0 ]; [ 1; 2; 3 ] ];
   send_burst 20;
-  Engine.run engine ~until:(Time.sec 12);
+  Sim_rt.run engine ~until:(Time.sec 12);
   Alcotest.(check int) "reset released the backlog" 0 (Transport.in_flight ep);
-  Engine.heal engine;
+  Sim_rt.heal engine;
   (* fresh connection reuses the released slots *)
   send_burst 30;
-  Engine.run engine ~until:(Time.ms 100);
+  Sim_rt.run engine ~until:(Time.ms 100);
   (* crash/recover while unacked slots are outstanding *)
-  Engine.crash engine 0;
-  Engine.run engine ~until:(Time.ms 300);
-  Engine.recover engine 0;
-  Engine.run engine ~until:(Time.sec 20);
+  Sim_rt.crash engine 0;
+  Sim_rt.run engine ~until:(Time.ms 300);
+  Sim_rt.recover engine 0;
+  Sim_rt.run engine ~until:(Time.sec 20);
   Alcotest.(check int) "drained after recovery" 0 (Transport.in_flight ep);
   let received = List.rev_map snd !got in
   (* the first 30 arrive FIFO; the partitioned 20 are lost to the reset;
@@ -232,7 +233,7 @@ let prop_fifo_under_loss =
       for i = 1 to n_msgs do
         Transport.send ep ~dst:1 (Msg i)
       done;
-      Engine.run engine ~until:(Time.sec 30);
+      Sim_rt.run engine ~until:(Time.sec 30);
       List.rev_map snd !got = List.init n_msgs (fun i -> i + 1))
 
 let suite =

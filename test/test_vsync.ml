@@ -3,6 +3,7 @@
    the trace invariants under adversarial schedules. *)
 
 open Plwg_sim
+module Sim_rt = Plwg_runtime.Sim_rt
 open Plwg_vsync.Types
 module Hwg = Plwg_vsync.Hwg
 module Recorder = Plwg_vsync.Recorder
@@ -147,7 +148,7 @@ let test_crash_removes_member () =
   let group = gid 0 in
   Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
-  Engine.crash cluster.Cluster.engine 3;
+  Sim_rt.crash cluster.Cluster.engine 3;
   Cluster.run cluster (Time.sec 4);
   (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
   | Some view -> Alcotest.(check (list int)) "crashed node excluded" [ 0; 1; 2 ] view.View.members
@@ -162,7 +163,7 @@ let test_coordinator_crash () =
   Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
   Alcotest.(check bool) "0 coordinates" true (Hwg.am_coordinator cluster.Cluster.hwgs.(0) group);
-  Engine.crash cluster.Cluster.engine 0;
+  Sim_rt.crash cluster.Cluster.engine 0;
   Cluster.run cluster (Time.sec 4);
   Alcotest.(check bool) "1 coordinates" true (Hwg.am_coordinator cluster.Cluster.hwgs.(1) group);
   (match Hwg.view_of cluster.Cluster.hwgs.(1) group with
@@ -175,7 +176,7 @@ let test_partition_concurrent_views () =
   let group = gid 0 in
   Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
-  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Cluster.run cluster (Time.sec 4);
   let view_at node =
     match Hwg.view_of cluster.Cluster.hwgs.(node) group with
@@ -193,11 +194,11 @@ let test_heal_merges_views () =
   let group = gid 0 in
   Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
-  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Cluster.run cluster (Time.sec 4);
   let side_a = Option.get (Hwg.view_of cluster.Cluster.hwgs.(0) group) in
   let side_b = Option.get (Hwg.view_of cluster.Cluster.hwgs.(2) group) in
-  Engine.heal cluster.Cluster.engine;
+  Sim_rt.heal cluster.Cluster.engine;
   Cluster.run cluster (Time.sec 5);
   (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
   | Some view ->
@@ -217,12 +218,12 @@ let test_traffic_through_partition_and_heal () =
   (* traffic before, during and after a partition cycle *)
   Hwg.send cluster.Cluster.hwgs.(0) group (App 1);
   Cluster.run cluster (Time.ms 100);
-  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Cluster.run cluster (Time.sec 4);
   Hwg.send cluster.Cluster.hwgs.(0) group (App 2);
   Hwg.send cluster.Cluster.hwgs.(2) group (App 3);
   Cluster.run cluster (Time.sec 1);
-  Engine.heal cluster.Cluster.engine;
+  Sim_rt.heal cluster.Cluster.engine;
   Cluster.run cluster (Time.sec 5);
   Hwg.send cluster.Cluster.hwgs.(3) group (App 4);
   Cluster.run cluster (Time.sec 1);
@@ -242,7 +243,7 @@ let test_join_during_partition_then_heal () =
   let group = gid 0 in
   List.iter (fun node -> Hwg.join cluster.Cluster.hwgs.(node) group) [ 0; 1 ];
   Cluster.run cluster (Time.sec 4);
-  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  Sim_rt.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3; 4 ] ];
   Cluster.run cluster (Time.sec 2);
   (* node 3 joins on the other side: forms a concurrent view *)
   Hwg.join cluster.Cluster.hwgs.(3) group;
@@ -250,7 +251,7 @@ let test_join_during_partition_then_heal () =
   (match Hwg.view_of cluster.Cluster.hwgs.(3) group with
   | Some view -> Alcotest.(check (list int)) "singleton on side B" [ 3 ] view.View.members
   | None -> Alcotest.fail "no side-B view");
-  Engine.heal cluster.Cluster.engine;
+  Sim_rt.heal cluster.Cluster.engine;
   Cluster.run cluster (Time.sec 5);
   (match Hwg.view_of cluster.Cluster.hwgs.(0) group with
   | Some view -> Alcotest.(check (list int)) "all merged" [ 0; 1; 3 ] view.View.members
@@ -283,7 +284,7 @@ let test_flush_cuts_are_synchronized () =
   for i = 1 to 50 do
     Hwg.send cluster.Cluster.hwgs.(i mod 4) group (App i)
   done;
-  Engine.crash cluster.Cluster.engine 2;
+  Sim_rt.crash cluster.Cluster.engine 2;
   Cluster.run cluster (Time.sec 5);
   check_converged cluster group "survivors converge";
   check_invariants cluster
@@ -344,7 +345,7 @@ let test_total_order_survives_coordinator_crash () =
   for i = 1 to 10 do
     Hwg.send cluster.Cluster.hwgs.(1) group (App i)
   done;
-  Engine.crash cluster.Cluster.engine 0;
+  Sim_rt.crash cluster.Cluster.engine 0;
   Cluster.run cluster (Time.sec 5);
   for i = 11 to 15 do
     Hwg.send cluster.Cluster.hwgs.(2) group (App i)
@@ -422,8 +423,8 @@ let test_stability_gc_prunes () =
   Array.iter (fun hwg -> Hwg.join hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
   for k = 1 to 200 do
-    let (_ : Engine.cancel) =
-      Engine.after cluster.Cluster.engine (Time.ms (10 * k)) (fun () ->
+    let (_ : Sim_rt.cancel) =
+      Sim_rt.after cluster.Cluster.engine (Time.ms (10 * k)) (fun () ->
           Hwg.send cluster.Cluster.hwgs.(k mod 3) group (App k))
     in
     ()
@@ -439,7 +440,7 @@ let test_stability_gc_prunes () =
       Alcotest.(check bool) (Printf.sprintf "node %d store drained (%d kept)" node kept) true (kept < 40))
     [ 0; 1; 2 ];
   (* a view change right after pruning must still be virtually synchronous *)
-  Engine.crash cluster.Cluster.engine 2;
+  Sim_rt.crash cluster.Cluster.engine 2;
   Cluster.run cluster (Time.sec 4);
   check_converged cluster group "survivors converge";
   check_invariants cluster
@@ -494,8 +495,8 @@ let causal_relay ~ordering ~seed =
   Array.iter (fun hwg -> Hwg.join ~ordering hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
   for k = 1 to 40 do
-    let (_ : Engine.cancel) =
-      Engine.after cluster.Cluster.engine (Time.ms (5 * k)) (fun () ->
+    let (_ : Sim_rt.cancel) =
+      Sim_rt.after cluster.Cluster.engine (Time.ms (5 * k)) (fun () ->
           Hwg.send cluster.Cluster.hwgs.(1) group (Ping k))
     in
     ()
@@ -530,12 +531,12 @@ let test_causal_survives_partition_merge () =
   let group = gid 6 in
   Array.iter (fun hwg -> Hwg.join ~ordering:Causal hwg group) cluster.Cluster.hwgs;
   Cluster.run cluster (Time.sec 4);
-  Engine.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
+  Sim_rt.set_partition cluster.Cluster.engine [ [ 0; 1 ]; [ 2; 3 ] ];
   Cluster.run cluster (Time.sec 4);
   Hwg.send cluster.Cluster.hwgs.(0) group (App 1);
   Hwg.send cluster.Cluster.hwgs.(2) group (App 2);
   Cluster.run cluster (Time.sec 1);
-  Engine.heal cluster.Cluster.engine;
+  Sim_rt.heal cluster.Cluster.engine;
   Cluster.run cluster (Time.sec 5);
   Hwg.send cluster.Cluster.hwgs.(3) group (App 3);
   Cluster.run cluster (Time.sec 1);
@@ -563,8 +564,8 @@ let stress_once seed =
     | 0 ->
         let cut = 1 + Plwg_util.Rng.int rng 4 in
         let left = List.init cut (fun i -> i) and right = List.init (6 - cut) (fun i -> cut + i) in
-        Engine.set_partition cluster.Cluster.engine [ left; right ]
-    | 1 -> Engine.heal cluster.Cluster.engine
+        Sim_rt.set_partition cluster.Cluster.engine [ left; right ]
+    | 1 -> Sim_rt.heal cluster.Cluster.engine
     | _ -> ());
     (* traffic from random reachable members *)
     for _ = 1 to 5 do
@@ -574,7 +575,7 @@ let stress_once seed =
     done;
     Cluster.run cluster (Time.sec 3)
   done;
-  Engine.heal cluster.Cluster.engine;
+  Sim_rt.heal cluster.Cluster.engine;
   Cluster.run cluster (Time.sec 8);
   let violations = Recorder.check_all cluster.Cluster.recorder in
   let converged = Cluster.converged cluster group in
